@@ -1,0 +1,22 @@
+// Command calibrate evaluates every calibration anchor — the headline
+// numbers the paper states — against the simulator and prints a
+// paper-vs-measured table (the source of EXPERIMENTS.md's summary).
+// It exits non-zero if any anchor is outside its tolerance.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	results := core.CheckAnchors()
+	fmt.Print(core.FormatAnchors(results))
+	for _, r := range results {
+		if !r.Within {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Command figures regenerates every figure of the paper's evaluation on the
+// simulated testbed and prints them as text tables (optionally also CSV
+// files).
+//
+// Usage:
+//
+//	figures [-only figN] [-csv DIR] [-scale N]
+//
+// -scale thins the parameter sweeps (2 = every other point) for quick runs;
+// the default reproduces the full sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (fig1..fig8)")
+	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
+	scale := flag.Int("scale", 1, "sweep thinning factor (1 = full paper sweeps)")
+	flag.Parse()
+
+	if *only != "" {
+		if _, ok := core.Find(*only); !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8\n", *only)
+			os.Exit(2)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := core.RunAll(os.Stdout, *only, *csvDir, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+// Command netbench runs a single micro-benchmark on one simulated network,
+// like running the paper's individual test programs by hand.
+//
+// Usage examples:
+//
+//	netbench -net iwarp -test latency -size 4
+//	netbench -net ib -test bandwidth -mode bothway -size 1048576
+//	netbench -net iwarp -test multiconn -size 1024 -conns 64
+//	netbench -net mxom -test logp -size 1024
+//	netbench -net ib -test reuse -size 262144
+//	netbench -net mxoe -test queue -queue recv -depth 256 -size 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/logp"
+)
+
+func main() {
+	netName := flag.String("net", "iwarp", "network: iwarp | ib | mxom | mxoe")
+	test := flag.String("test", "latency", "test: latency | userlatency | bandwidth | multiconn | logp | reuse | queue | overlap | progress | hotspot | alltoall | sockets | udapl")
+	size := flag.Int("size", 4, "message size in bytes")
+	mode := flag.String("mode", "uni", "bandwidth mode: uni | bidi | bothway")
+	conns := flag.Int("conns", 8, "connection count for -test multiconn")
+	nodes := flag.Int("nodes", 4, "cluster size for -test alltoall / senders+1 for -test hotspot")
+	depth := flag.Int("depth", 256, "queue depth for -test queue")
+	queue := flag.String("queue", "unexpected", "queue flavour: unexpected | recv")
+	iters := flag.Int("iters", 20, "iterations")
+	flag.Parse()
+
+	kind, ok := parseKind(*netName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+
+	switch *test {
+	case "latency":
+		lat := bench.MPILatency(kind, *size, *iters)
+		fmt.Printf("%s MPI ping-pong latency, %d B: %.3f us\n", kind, *size, lat.Micros())
+	case "userlatency":
+		lat := bench.UserLatency(kind, *size, *iters)
+		fmt.Printf("%s user-level ping-pong latency, %d B: %.3f us\n", kind, *size, lat.Micros())
+	case "bandwidth":
+		var m bench.BandwidthMode
+		switch *mode {
+		case "uni":
+			m = bench.Unidirectional
+		case "bidi":
+			m = bench.Bidirectional
+		case "bothway":
+			m = bench.BothWay
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		bw := bench.MPIBandwidth(kind, m, *size, max(*iters/4, 2))
+		fmt.Printf("%s MPI %s bandwidth, %d B: %.1f MB/s\n", kind, m, *size, bw)
+	case "multiconn":
+		if !kind.IsMX() {
+			lat := bench.MultiConnLatency(kind, *conns, *size, 8)
+			tput := bench.MultiConnThroughput(kind, *conns, *size, 12)
+			fmt.Printf("%s %d connections, %d B: normalized latency %.3f us, throughput %.1f MB/s\n",
+				kind, *conns, *size, lat.Micros(), tput)
+		} else {
+			fmt.Fprintln(os.Stderr, "multiconn compares the two QP/verbs stacks (iwarp, ib)")
+			os.Exit(2)
+		}
+	case "logp":
+		p := logp.Measure(kind, *size)
+		fmt.Printf("%s LogP at %d B: g=%.2f us, Os=%.2f us, Or=%.2f us\n",
+			kind, *size, p.G.Micros(), p.Os.Micros(), p.Or.Micros())
+	case "reuse":
+		r := bench.BufferReuseRatio(kind, *size)
+		fmt.Printf("%s buffer re-use ratio at %d B: %.2f\n", kind, *size, r)
+	case "queue":
+		var empty, loaded float64
+		switch *queue {
+		case "unexpected":
+			empty = bench.UnexpectedQueueLatency(kind, *size, 0, *iters).Micros()
+			loaded = bench.UnexpectedQueueLatency(kind, *size, *depth, *iters).Micros()
+		case "recv":
+			empty = bench.ReceiveQueueLatency(kind, *size, 0, *iters).Micros()
+			loaded = bench.ReceiveQueueLatency(kind, *size, *depth, *iters).Micros()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown queue %q\n", *queue)
+			os.Exit(2)
+		}
+		fmt.Printf("%s %s-queue effect, %d B, depth %d: %.2f us -> %.2f us (ratio %.2f)\n",
+			kind, *queue, *size, *depth, empty, loaded, loaded/empty)
+	case "overlap":
+		r := bench.OverlapRatio(kind, *size, max(*iters/4, 2))
+		fmt.Printf("%s overlap ratio at %d B: %.2f (1 = compute fully hidden)\n", kind, *size, r)
+	case "progress":
+		r := bench.ProgressRatio(kind, *size, max(*iters/4, 2))
+		fmt.Printf("%s independent-progress ratio at %d B: %.2f\n", kind, *size, r)
+	case "hotspot":
+		lat := bench.HotspotLatency(kind, *nodes-1, *size, *iters)
+		fmt.Printf("%s hotspot with %d senders, %d B: %.2f us per sender\n", kind, *nodes-1, *size, lat.Micros())
+	case "alltoall":
+		at := bench.AlltoallTime(kind, *nodes, *size, max(*iters/4, 2))
+		fmt.Printf("%s alltoall on %d nodes, %d B per pair: %.2f us\n", kind, *nodes, *size, at.Micros())
+	case "sockets":
+		for _, stack := range bench.SocketStacks {
+			lat := bench.SocketLatency(stack, *size, *iters)
+			bw := bench.SocketBandwidth(stack, max(*size, 4096), 32)
+			fmt.Printf("%-10s %d B latency %.2f us, streaming %.1f MB/s\n", stack, *size, lat.Micros(), bw)
+		}
+	case "udapl":
+		if kind.IsMX() {
+			fmt.Fprintln(os.Stderr, "udapl runs on the verbs stacks (iwarp, ib)")
+			os.Exit(2)
+		}
+		lat := bench.UDAPLatency(kind, *size, *iters)
+		raw := bench.UserLatency(kind, *size, *iters)
+		fmt.Printf("%s uDAPL %d B: %.2f us (raw verbs %.2f us)\n", kind, *size, lat.Micros(), raw.Micros())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown test %q\n", *test)
+		os.Exit(2)
+	}
+}
+
+func parseKind(s string) (cluster.Kind, bool) {
+	switch strings.ToLower(s) {
+	case "iwarp":
+		return cluster.IWARP, true
+	case "ib", "infiniband":
+		return cluster.IB, true
+	case "mxom", "myrinet":
+		return cluster.MXoM, true
+	case "mxoe":
+		return cluster.MXoE, true
+	}
+	return 0, false
+}

@@ -1,0 +1,26 @@
+// Logp extracts the parameterized-LogP parameters (Kielmann et al.) of each
+// simulated MPI stack, the paper's Section 6.3 experiment. The interesting
+// contrast is Or(m) at and beyond the rendezvous threshold: Myrinet's
+// NIC-driven progression keeps the receiver overhead flat, while the
+// call-driven MPICH/MVAPICH stacks pay the whole transfer inside MPI_Wait.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/logp"
+)
+
+func main() {
+	sizes := []int{1, 256, 4 << 10, 32 << 10, 64 << 10, 256 << 10}
+	for _, kind := range cluster.Kinds {
+		fmt.Printf("%s:\n", kind)
+		fmt.Printf("  %10s %10s %10s %10s\n", "bytes", "g (us)", "Os (us)", "Or (us)")
+		for _, m := range sizes {
+			p := logp.Measure(kind, m)
+			fmt.Printf("  %10d %10.2f %10.2f %10.2f\n", m, p.G.Micros(), p.Os.Micros(), p.Or.Micros())
+		}
+		fmt.Println()
+	}
+}

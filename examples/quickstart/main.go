@@ -1,0 +1,55 @@
+// Quickstart: build a two-node testbed on each of the paper's four stacks
+// (iWARP, InfiniBand, MXoM, MXoE), run an MPI ping-pong, and print the
+// short-message latency — the simulated equivalent of the paper's Figure 3
+// headline numbers.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("2-node MPI ping-pong, 4-byte messages, 100 iterations:")
+	for _, kind := range cluster.Kinds {
+		fmt.Printf("  %-5s  one-way latency %.2f us\n", kind, pingPong(kind, 4, 100).Micros())
+	}
+}
+
+// pingPong returns the average one-way latency of a blocking MPI ping-pong.
+func pingPong(kind cluster.Kind, size, iters int) sim.Time {
+	// A testbed is a simulated cluster: hosts, NICs, one switch. The MPI
+	// world layers ranks over it (one per host).
+	tb, world := mpi.DefaultWorld(kind, 2)
+	defer tb.Close()
+
+	var lat sim.Time
+	tb.Eng.Go("rank0", func(pr *sim.Proc) {
+		p := world.Rank(0)
+		buf := p.Host().Mem.Alloc(size)
+		buf.Fill(7)
+		p.Barrier(pr)
+		start := p.Wtime(pr)
+		for i := 0; i < iters; i++ {
+			p.Send(pr, 1, 0, buf, 0, size)
+			p.Recv(pr, 1, 1, buf, 0, size)
+		}
+		lat = (p.Wtime(pr) - start) / sim.Time(2*iters)
+	})
+	tb.Eng.Go("rank1", func(pr *sim.Proc) {
+		p := world.Rank(1)
+		buf := p.Host().Mem.Alloc(size)
+		p.Barrier(pr)
+		for i := 0; i < iters; i++ {
+			p.Recv(pr, 0, 0, buf, 0, size)
+			p.Send(pr, 0, 1, buf, 0, size)
+		}
+	})
+	if err := tb.Run(); err != nil {
+		panic(err)
+	}
+	return lat
+}

@@ -1,0 +1,180 @@
+// Package bench implements the paper's evaluation: one driver per figure,
+// reproducing the workloads of Sections 5 and 6 on the simulated testbed.
+// Each driver returns a Figure (labelled series over message size,
+// connection count or queue depth) that cmd/figures renders as text or CSV
+// and bench_test.go reports through the Go benchmark machinery.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the Y value at x (exact match), or NaN-like zero with ok=false.
+func (s *Series) At(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is one reproduced table/figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Get returns the series with the given label.
+func (f *Figure) Get(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// xs returns the sorted union of X values across all series.
+func (f *Figure) xs() []float64 {
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			seen[p.X] = true
+		}
+	}
+	out := make([]float64, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// fmtX prints sizes in the paper's axis style (1K, 64K, 1M...).
+func fmtX(x float64) string {
+	n := int64(x)
+	if float64(n) != x {
+		return fmt.Sprintf("%g", x)
+	}
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Table renders the figure as an aligned text table.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# Y: %s\n", f.YLabel)
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	rows := [][]string{cols}
+	for _, x := range f.xs() {
+		row := []string{fmtX(x)}
+		for i := range f.Series {
+			if y, ok := f.Series[i].At(x); ok {
+				row = append(row, fmt.Sprintf("%.2f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	for _, x := range f.xs() {
+		cells := []string{fmt.Sprintf("%g", x)}
+		for i := range f.Series {
+			if y, ok := f.Series[i].At(x); ok {
+				cells = append(cells, fmt.Sprintf("%.4f", y))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pow2Sizes returns powers of two in [lo, hi].
+func Pow2Sizes(lo, hi int) []int {
+	var out []int
+	for n := lo; n <= hi; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Pow4Sizes returns powers of four in [lo, hi].
+func Pow4Sizes(lo, hi int) []int {
+	var out []int
+	for n := lo; n <= hi; n *= 4 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// itersFor scales iteration counts down as messages grow, like the paper's
+// scripts ("repeated a sufficient number of times").
+func itersFor(size int) int {
+	switch {
+	case size <= 1<<10:
+		return 40
+	case size <= 64<<10:
+		return 16
+	case size <= 1<<20:
+		return 6
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/logp"
+)
+
+// Fig5Gap reproduces the g(m) panel of Figure 5.
+func Fig5Gap(sizes []int) Figure {
+	fig := Figure{
+		ID:     "fig5-gap",
+		Title:  "Parameterized LogP: gap g(m)",
+		XLabel: "bytes",
+		YLabel: "g(m) (us)",
+	}
+	for _, kind := range cluster.Kinds {
+		s := Series{Label: kind.String()}
+		for _, size := range sizes {
+			s.Points = append(s.Points, Point{X: float64(size), Y: logp.Gap(kind, size, 48).Micros()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig5Os reproduces the sender-overhead panel of Figure 5.
+func Fig5Os(sizes []int) Figure {
+	fig := Figure{
+		ID:     "fig5-os",
+		Title:  "Parameterized LogP: sender overhead Os(m)",
+		XLabel: "bytes",
+		YLabel: "Os(m) (us)",
+	}
+	for _, kind := range cluster.Kinds {
+		s := Series{Label: kind.String()}
+		for _, size := range sizes {
+			s.Points = append(s.Points, Point{X: float64(size), Y: logp.SenderOverhead(kind, size, 12).Micros()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig5Or reproduces the receiver-overhead panel of Figure 5.
+func Fig5Or(sizes []int) Figure {
+	fig := Figure{
+		ID:     "fig5-or",
+		Title:  "Parameterized LogP: receiver overhead Or(m)",
+		XLabel: "bytes",
+		YLabel: "Or(m) (us)",
+	}
+	for _, kind := range cluster.Kinds {
+		s := Series{Label: kind.String()}
+		for _, size := range sizes {
+			s.Points = append(s.Points, Point{X: float64(size), Y: logp.ReceiverOverhead(kind, size, 4).Micros()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// fig6Buffers is the number of distinct message buffers in the no-re-use
+// pattern, per the paper ("we statically allocate 64 separate memory
+// buffers").
+const fig6Buffers = 64
+
+// BufferReuseLatency runs the ping-pong of Section 6.4 with `nbufs` message
+// buffers per side (1 = full re-use, 64 = no re-use) and returns the
+// average one-way latency.
+func BufferReuseLatency(kind cluster.Kind, size, nbufs, iters int) sim.Time {
+	tb, w := mpi.DefaultWorld(kind, 2)
+	defer tb.Close()
+	var lat sim.Time
+	alloc := func(p *mpi.Process) []*mem.Buffer {
+		bufs := make([]*mem.Buffer, nbufs)
+		for i := range bufs {
+			bufs[i] = p.Host().Mem.Alloc(size)
+			bufs[i].Fill(byte(i))
+		}
+		return bufs
+	}
+	tb.Eng.Go("rank0", func(pr *sim.Proc) {
+		p := w.Rank(0)
+		bufs := alloc(p)
+		p.Barrier(pr)
+		start := p.Wtime(pr)
+		for i := 0; i < iters; i++ {
+			b := bufs[i%nbufs]
+			p.Send(pr, 1, 1, b, 0, size)
+			p.Recv(pr, 1, 2, b, 0, size)
+		}
+		lat = (p.Wtime(pr) - start) / sim.Time(2*iters)
+	})
+	tb.Eng.Go("rank1", func(pr *sim.Proc) {
+		p := w.Rank(1)
+		bufs := alloc(p)
+		p.Barrier(pr)
+		for i := 0; i < iters; i++ {
+			b := bufs[i%nbufs]
+			p.Recv(pr, 0, 1, b, 0, size)
+			p.Send(pr, 0, 2, b, 0, size)
+		}
+	})
+	mustRun(tb)
+	return lat
+}
+
+// BufferReuseRatio returns no-re-use latency / full-re-use latency.
+func BufferReuseRatio(kind cluster.Kind, size int) float64 {
+	iters := 2 * fig6Buffers // every buffer used at least twice
+	full := BufferReuseLatency(kind, size, 1, iters)
+	none := BufferReuseLatency(kind, size, fig6Buffers, iters)
+	return float64(none) / float64(full)
+}
+
+// Fig6 reproduces Figure 6: the effect of the buffer re-use pattern on
+// ping-pong latency.
+func Fig6(sizes []int) Figure {
+	fig := Figure{
+		ID:     "fig6-buffer-reuse",
+		Title:  "Buffer re-use effect on latency",
+		XLabel: "bytes",
+		YLabel: "ratio of no re-use to full re-use latency",
+	}
+	for _, kind := range cluster.Kinds {
+		s := Series{Label: "MPI/" + kind.String()}
+		for _, size := range sizes {
+			s.Points = append(s.Points, Point{X: float64(size), Y: BufferReuseRatio(kind, size)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig6NoRegCache repeats the Myrinet measurement with the MX registration
+// cache disabled — the paper's own ablation ("when we disable the Myrinet
+// registration cache, the effect of buffer re-use decreases").
+func Fig6NoRegCache(sizes []int) Figure {
+	fig := Figure{
+		ID:     "fig6-mx-no-regcache",
+		Title:  "Buffer re-use effect with the MX registration cache disabled",
+		XLabel: "bytes",
+		YLabel: "ratio of no re-use to full re-use latency",
+	}
+	s := Series{Label: "MPI/MXoM (no reg cache)"}
+	for _, size := range sizes {
+		s.Points = append(s.Points, Point{X: float64(size), Y: bufferReuseRatioNoCache(size)})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig
+}
+
+func bufferReuseRatioNoCache(size int) float64 {
+	iters := 2 * fig6Buffers
+	measure := func(nbufs int) sim.Time {
+		tb, w := mpi.DefaultWorld(cluster.MXoM, 2)
+		defer tb.Close()
+		for _, h := range tb.Hosts {
+			h.MX.RegCache().Enabled = false
+		}
+		var lat sim.Time
+		alloc := func(p *mpi.Process) []*mem.Buffer {
+			bufs := make([]*mem.Buffer, nbufs)
+			for i := range bufs {
+				bufs[i] = p.Host().Mem.Alloc(size)
+				bufs[i].Fill(byte(i))
+			}
+			return bufs
+		}
+		tb.Eng.Go("rank0", func(pr *sim.Proc) {
+			p := w.Rank(0)
+			bufs := alloc(p)
+			p.Barrier(pr)
+			start := p.Wtime(pr)
+			for i := 0; i < iters; i++ {
+				b := bufs[i%nbufs]
+				p.Send(pr, 1, 1, b, 0, size)
+				p.Recv(pr, 1, 2, b, 0, size)
+			}
+			lat = (p.Wtime(pr) - start) / sim.Time(2*iters)
+		})
+		tb.Eng.Go("rank1", func(pr *sim.Proc) {
+			p := w.Rank(1)
+			bufs := alloc(p)
+			p.Barrier(pr)
+			for i := 0; i < iters; i++ {
+				b := bufs[i%nbufs]
+				p.Recv(pr, 0, 1, b, 0, size)
+				p.Send(pr, 0, 2, b, 0, size)
+			}
+		})
+		mustRun(tb)
+		return lat
+	}
+	return float64(measure(fig6Buffers)) / float64(measure(1))
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Fig7Depths is the unexpected-queue depth sweep.
+var Fig7Depths = []int{0, 16, 64, 256, 1024}
+
+// Fig7Sizes are the measured ping-pong message sizes of Figure 7.
+var Fig7Sizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+// unexpectedTag marks the preloaded messages; the measured ping-pong uses a
+// different tag so every receive traverses the whole unexpected queue.
+const (
+	unexpectedTag = 7001
+	measuredTag   = 7002
+	drainTag      = 7003
+)
+
+// UnexpectedQueueLatency preloads `depth` small unexpected messages on both
+// sides, synchronizes, and then measures a synchronous-send ping-pong at
+// `size` (synchronous "to avoid any overlapping of queue processing with
+// message communication time", per the paper).
+func UnexpectedQueueLatency(kind cluster.Kind, size, depth, iters int) sim.Time {
+	cfg := mpi.ConfigFor(kind)
+	if cfg.EagerCredits > 0 && cfg.EagerCredits < depth+64 {
+		cfg.EagerCredits = depth + 64
+	}
+	tb := cluster.New(kind, 2)
+	defer tb.Close()
+	w := mpi.NewWorld(tb, cfg)
+	var lat sim.Time
+	for r := 0; r < 2; r++ {
+		r := r
+		tb.Eng.Go("rank", func(pr *sim.Proc) {
+			p := w.Rank(r)
+			peer := 1 - r
+			small := p.Host().Mem.Alloc(64)
+			small.Fill(9)
+			buf := p.Host().Mem.Alloc(max(size, 1))
+			buf.Fill(byte(r))
+			// Preload the peer's unexpected queue.
+			for i := 0; i < depth; i++ {
+				p.Send(pr, peer, unexpectedTag, small, 0, 64)
+			}
+			p.Barrier(pr)
+			if r == 0 {
+				start := p.Wtime(pr)
+				for i := 0; i < iters; i++ {
+					p.Ssend(pr, peer, measuredTag, buf, 0, size)
+					p.Recv(pr, peer, measuredTag, buf, 0, size)
+				}
+				lat = (p.Wtime(pr) - start) / sim.Time(2*iters)
+			} else {
+				for i := 0; i < iters; i++ {
+					p.Recv(pr, peer, measuredTag, buf, 0, size)
+					p.Ssend(pr, peer, measuredTag, buf, 0, size)
+				}
+			}
+			// Drain the preloaded messages so the run terminates cleanly.
+			for i := 0; i < depth; i++ {
+				p.Recv(pr, peer, unexpectedTag, small, 0, 64)
+			}
+		})
+	}
+	mustRun(tb)
+	return lat
+}
+
+// Fig7 reproduces Figure 7: ratio of loaded-queue latency over empty-queue
+// latency as a function of the number of unexpected messages.
+func Fig7(kind cluster.Kind, sizes, depths []int) Figure {
+	fig := Figure{
+		ID:     "fig7-unexpected-" + kind.String(),
+		Title:  "Unexpected message queue size effect (" + kind.String() + ")",
+		XLabel: "unexpected messages",
+		YLabel: "latency ratio (loaded / empty)",
+	}
+	const iters = 12
+	base := map[int]sim.Time{}
+	for _, size := range sizes {
+		base[size] = UnexpectedQueueLatency(kind, size, 0, iters)
+	}
+	for _, size := range sizes {
+		s := Series{Label: fmtX(float64(size))}
+		for _, d := range depths {
+			lat := UnexpectedQueueLatency(kind, size, d, iters)
+			s.Points = append(s.Points, Point{X: float64(d), Y: float64(lat) / float64(base[size])})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// The paper's Section 7: "We plan to put these networks to the test in a
+// larger testbed to have a better evaluation of the extent to which the
+// multiple-connection performance of the NetEffect device will affect real
+// world applications." This driver scales the node count beyond the
+// four-node testbed and runs the communication kernels whose connection
+// fan-out grows with the job: Alltoall (every rank talks to every rank) and
+// Allgather.
+
+// scalingWorld builds an n-node world with a leaner eager pool (many peers
+// multiply the per-pair buffer rings).
+func scalingWorld(kind cluster.Kind, nodes int) (*cluster.Testbed, *mpi.World) {
+	cfg := mpi.ConfigFor(kind)
+	if cfg.EagerCredits > 64 {
+		cfg.EagerCredits = 64
+	}
+	tb := cluster.New(kind, nodes)
+	return tb, mpi.NewWorld(tb, cfg)
+}
+
+// AlltoallTime measures the completion time of one n-byte-per-pair Alltoall
+// across `nodes` ranks.
+func AlltoallTime(kind cluster.Kind, nodes, n, iters int) sim.Time {
+	tb, w := scalingWorld(kind, nodes)
+	defer tb.Close()
+	var total sim.Time
+	for r := 0; r < nodes; r++ {
+		r := r
+		p := w.Rank(r)
+		tb.Eng.Go(fmt.Sprintf("rank%d", r), func(pr *sim.Proc) {
+			send := p.Host().Mem.Alloc(nodes * n)
+			recv := p.Host().Mem.Alloc(nodes * n)
+			send.Fill(byte(r))
+			p.Barrier(pr)
+			start := p.Wtime(pr)
+			for i := 0; i < iters; i++ {
+				p.Alltoall(pr, send, recv, n)
+				p.Barrier(pr)
+			}
+			if r == 0 {
+				total = (p.Wtime(pr) - start) / sim.Time(iters)
+			}
+		})
+	}
+	if err := tb.Run(); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return total
+}
+
+// AllgatherTime measures one n-byte-per-rank Allgather across `nodes`.
+func AllgatherTime(kind cluster.Kind, nodes, n, iters int) sim.Time {
+	tb, w := scalingWorld(kind, nodes)
+	defer tb.Close()
+	var total sim.Time
+	for r := 0; r < nodes; r++ {
+		r := r
+		p := w.Rank(r)
+		tb.Eng.Go(fmt.Sprintf("rank%d", r), func(pr *sim.Proc) {
+			buf := p.Host().Mem.Alloc(nodes * n)
+			buf.Fill(byte(r))
+			p.Barrier(pr)
+			start := p.Wtime(pr)
+			for i := 0; i < iters; i++ {
+				p.Allgather(pr, buf, n)
+				p.Barrier(pr)
+			}
+			if r == 0 {
+				total = (p.Wtime(pr) - start) / sim.Time(iters)
+			}
+		})
+	}
+	if err := tb.Run(); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return total
+}
+
+// ExtScalingAlltoall builds the node-count sweep for Alltoall (the
+// connection-fan-out stressor: at 16 nodes each verbs process drives 15 QP
+// pairs, where the IB context cache has long since overflowed).
+func ExtScalingAlltoall(nodeCounts []int, n int) Figure {
+	fig := Figure{
+		ID:     "ext-scaling-alltoall",
+		Title:  fmt.Sprintf("Alltoall completion time vs cluster size (%dB per pair)", n),
+		XLabel: "nodes",
+		YLabel: "time per alltoall (us)",
+	}
+	for _, kind := range cluster.Kinds {
+		s := Series{Label: kind.String()}
+		for _, nodes := range nodeCounts {
+			s.Points = append(s.Points, Point{X: float64(nodes), Y: AlltoallTime(kind, nodes, n, 4).Micros()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// ExtScalingAllgather builds the node-count sweep for Allgather.
+func ExtScalingAllgather(nodeCounts []int, n int) Figure {
+	fig := Figure{
+		ID:     "ext-scaling-allgather",
+		Title:  fmt.Sprintf("Allgather completion time vs cluster size (%dB per rank)", n),
+		XLabel: "nodes",
+		YLabel: "time per allgather (us)",
+	}
+	for _, kind := range cluster.Kinds {
+		s := Series{Label: kind.String()}
+		for _, nodes := range nodeCounts {
+			s.Points = append(s.Points, Point{X: float64(nodes), Y: AllgatherTime(kind, nodes, n, 4).Micros()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

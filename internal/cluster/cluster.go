@@ -1,0 +1,230 @@
+// Package cluster assembles the paper's testbed: four dual-Xeon Dell
+// PowerEdge 2850 nodes, each with exactly one NIC on its PCIe slot,
+// connected through a single switch. One Testbed models one experiment's
+// network: iWARP (NetEffect NE010 + Fujitsu XG700 10GigE switch),
+// InfiniBand (Mellanox MHEA28-XT + MTS2400), MXoM (Myri-10G NICs + Myri-10G
+// switch) or MXoE (Myri-10G NICs + the 10GigE switch).
+//
+// All calibration constants for the fabrics live here; the NIC-internal
+// constants live in each NIC package's DefaultConfig. EXPERIMENTS.md records
+// how the resulting end-to-end numbers compare with the paper's.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/iwarp"
+	"repro/internal/mem"
+	"repro/internal/mx"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Kind selects one of the four network stacks the paper compares.
+type Kind int
+
+// The four stacks of the paper's comparison.
+const (
+	IWARP Kind = iota // NetEffect NE010 iWARP verbs over 10GigE
+	IB                // Mellanox 4X InfiniBand verbs
+	MXoM              // MX-10G over the Myrinet switch
+	MXoE              // MX-10G over the Ethernet switch
+)
+
+// Kinds lists all four stacks in the paper's presentation order.
+var Kinds = []Kind{IWARP, IB, MXoM, MXoE}
+
+// VerbsKinds lists the two QP/verbs stacks used in the head-to-head
+// multi-connection comparison (Section 5.1).
+var VerbsKinds = []Kind{IWARP, IB}
+
+// String returns the label the paper's figures use.
+func (k Kind) String() string {
+	switch k {
+	case IWARP:
+		return "iWARP"
+	case IB:
+		return "IB"
+	case MXoM:
+		return "MXoM"
+	case MXoE:
+		return "MXoE"
+	}
+	return "unknown"
+}
+
+// IsMX reports whether the stack is an MX library flavour.
+func (k Kind) IsMX() bool { return k == MXoM || k == MXoE }
+
+// FabricConfig returns the physical-network model for a stack.
+func FabricConfig(k Kind) fabric.Config {
+	switch k {
+	case IWARP, MXoE:
+		// Fujitsu XG700 10-Gigabit Ethernet switch, CX4 cabling. 38 bytes
+		// of per-frame overhead: preamble 8 + MAC 14 + FCS 4 + IFG 12.
+		return fabric.Config{
+			Name:          "10gige",
+			LinkRate:      sim.Gbps(10),
+			FrameOverhead: 38,
+			HeaderBytes:   64,
+			SwitchLatency: 450 * sim.Nanosecond,
+			PropDelay:     25 * sim.Nanosecond,
+			CutThrough:    true,
+		}
+	case IB:
+		// Mellanox MTS2400 24-port 4X switch. The 1 GB/s rate is the 8b/10b
+		// data rate of a 10 Gb/s 4X SDR link.
+		return fabric.Config{
+			Name:          "ib-4x",
+			LinkRate:      sim.Rate(1e9),
+			FrameOverhead: 8,
+			HeaderBytes:   64,
+			SwitchLatency: 200 * sim.Nanosecond,
+			PropDelay:     25 * sim.Nanosecond,
+			CutThrough:    true,
+		}
+	case MXoM:
+		// Myricom Myri-10G 16-port switch: lower per-hop latency and leaner
+		// framing than Ethernet.
+		return fabric.Config{
+			Name:          "myri-10g",
+			LinkRate:      sim.Gbps(10),
+			FrameOverhead: 8,
+			HeaderBytes:   32,
+			SwitchLatency: 300 * sim.Nanosecond,
+			PropDelay:     25 * sim.Nanosecond,
+			CutThrough:    true,
+		}
+	}
+	panic(fmt.Sprintf("cluster: bad kind %d", int(k)))
+}
+
+// MXConfig returns the MX endpoint model for an MX flavour. MXoE pays the
+// heavier Ethernet encapsulation per packet.
+func MXConfig(k Kind) mx.Config {
+	cfg := mx.DefaultConfig()
+	if k == MXoE {
+		cfg.PacketHeader = 30 // Ethernet MAC header + MX-over-Ethernet tag
+	}
+	return cfg
+}
+
+// Host is one cluster node.
+type Host struct {
+	Name string
+	Mem  *mem.Memory
+
+	// Exactly one of the following is non-nil, matching the testbed's
+	// one-NIC-per-experiment setup.
+	RNIC *iwarp.RNIC
+	HCA  *ib.HCA
+	MX   *mx.Endpoint
+}
+
+// NIC returns the host's device as a verbs.NIC (nil for MX hosts).
+func (h *Host) NIC() verbs.NIC {
+	switch {
+	case h.RNIC != nil:
+		return h.RNIC
+	case h.HCA != nil:
+		return h.HCA
+	}
+	return nil
+}
+
+// PollDetect returns the host's completion-polling granularity.
+func (h *Host) PollDetect() sim.Time {
+	switch {
+	case h.RNIC != nil:
+		return h.RNIC.PollDetect()
+	case h.HCA != nil:
+		return h.HCA.PollDetect()
+	case h.MX != nil:
+		return h.MX.PollDetect()
+	}
+	return 0
+}
+
+// Testbed is an assembled cluster on one network.
+type Testbed struct {
+	Eng    *sim.Engine
+	Kind   Kind
+	Fabric *fabric.Network
+	Hosts  []*Host
+}
+
+// New builds a testbed of `nodes` hosts on the given network, with its own
+// simulation engine.
+func New(kind Kind, nodes int) *Testbed {
+	return NewWithOptions(kind, nodes, Options{})
+}
+
+// Options overrides the calibrated NIC configurations, for ablation studies
+// (pipeline width, context-cache size, MPA framing, thresholds).
+type Options struct {
+	IWARP *iwarp.Config
+	IB    *ib.Config
+	MX    *mx.Config
+}
+
+// NewWithOptions is New with per-NIC configuration overrides.
+func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
+	if nodes < 2 {
+		panic("cluster: need at least 2 nodes")
+	}
+	eng := sim.NewEngine()
+	tb := &Testbed{Eng: eng, Kind: kind}
+	tb.Fabric = fabric.New(eng, FabricConfig(kind))
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		h := &Host{Name: name, Mem: mem.NewMemory(eng, name)}
+		switch kind {
+		case IWARP:
+			cfg := iwarp.DefaultConfig()
+			if opts.IWARP != nil {
+				cfg = *opts.IWARP
+			}
+			h.RNIC = iwarp.New(eng, name+"/ne010", h.Mem, tb.Fabric, cfg)
+		case IB:
+			cfg := ib.DefaultConfig()
+			if opts.IB != nil {
+				cfg = *opts.IB
+			}
+			h.HCA = ib.New(eng, name+"/mhea28", h.Mem, tb.Fabric, cfg)
+		case MXoM, MXoE:
+			cfg := MXConfig(kind)
+			if opts.MX != nil {
+				cfg = *opts.MX
+			}
+			h.MX = mx.NewEndpoint(eng, name+"/myri10g", h.Mem, tb.Fabric, cfg)
+		}
+		tb.Hosts = append(tb.Hosts, h)
+	}
+	return tb
+}
+
+// Close shuts the engine down, unwinding NIC processes.
+func (tb *Testbed) Close() { tb.Eng.Close() }
+
+// ConnectQP establishes a verbs QP pair between hosts i and j. Panics for
+// MX testbeds (MX is connectionless; use the endpoints directly).
+func (tb *Testbed) ConnectQP(i, j int) (verbs.QP, verbs.QP) {
+	a, b := tb.Hosts[i], tb.Hosts[j]
+	switch tb.Kind {
+	case IWARP:
+		qa, qb := iwarp.Connect(a.RNIC, b.RNIC)
+		return qa, qb
+	case IB:
+		qa, qb := ib.Connect(a.HCA, b.HCA)
+		return qa, qb
+	}
+	panic("cluster: ConnectQP on an MX testbed")
+}
+
+// Run drives the simulation until the event heap drains.
+func (tb *Testbed) Run() error { return tb.Eng.Run() }
+
+// RunFor drives the simulation for d virtual time.
+func (tb *Testbed) RunFor(d sim.Time) error { return tb.Eng.RunFor(d) }

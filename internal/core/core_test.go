@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExperimentCatalogue(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 10 {
+		t.Fatalf("%d experiments, want 10 (8 paper figures + appendix + the Section 7 extension)", len(exps))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		want := fmt.Sprintf("fig%d", i+1)
+		found := false
+		for _, e := range exps {
+			if e.ID == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if !seen["ext"] || !seen["appx"] {
+		t.Error("missing the extension/appendix experiments")
+	}
+	if _, ok := Find("fig3"); !ok {
+		t.Error("Find(fig3) failed")
+	}
+	if _, ok := Find("fig99"); ok {
+		t.Error("Find(fig99) found something")
+	}
+}
+
+func TestRunAllSingleExperimentThinned(t *testing.T) {
+	var sb strings.Builder
+	// Scale 8 keeps this a smoke test; fig1 is the cheapest experiment.
+	if err := RunAll(&sb, "fig1", "", 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig1:", "fig1-latency", "fig1-bandwidth", "iWARP RDMA Write", "MXoE Send/Recv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestThinHelpers(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	got := thin(xs, 3)
+	if got[0] != 1 || got[len(got)-1] != 7 {
+		t.Errorf("thin endpoints wrong: %v", got)
+	}
+	if len(thin(xs, 1)) != len(xs) {
+		t.Error("scale 1 must be identity")
+	}
+}
+
+func TestAnchorsEvaluateWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anchors are a long calibration run")
+	}
+	// The three cheapest anchors, as a fast regression net; the full table
+	// runs through cmd/calibrate.
+	for _, a := range Anchors()[:4] {
+		m := a.Measure()
+		rel := (m - a.Paper) / a.Paper
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > a.Tolerance {
+			t.Errorf("anchor %q: measured %.2f, paper %.2f (tol %.0f%%)", a.Name, m, a.Paper, a.Tolerance*100)
+		}
+	}
+}
+
+func TestFormatAnchors(t *testing.T) {
+	rs := []AnchorResult{
+		{Anchor: Anchor{Name: "x", Unit: "us", Paper: 1, Tolerance: 0.1}, Measured: 1.05, Within: true},
+		{Anchor: Anchor{Name: "y", Unit: "us", Paper: 2, Tolerance: 0.1}, Measured: 3, Within: false},
+	}
+	out := FormatAnchors(rs)
+	if !strings.Contains(out, "OK") || !strings.Contains(out, "OUT") {
+		t.Errorf("format wrong:\n%s", out)
+	}
+}

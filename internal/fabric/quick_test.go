@@ -1,0 +1,86 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestPropertyConservation: every frame sent is either delivered or
+// counted as dropped; delivered bytes are conserved; arrivals never precede
+// the physical lower bound.
+func TestPropertyConservation(t *testing.T) {
+	f := func(rawSizes []uint16, cut bool, seed uint64) bool {
+		if len(rawSizes) > 64 {
+			rawSizes = rawSizes[:64]
+		}
+		eng := sim.NewEngine()
+		n, sinks := testNet(eng, cut)
+		rng := sim.NewRNG(seed)
+		n.DropFn = func(f *Frame) bool { return rng.Float64() < 0.1 }
+		sent := 0
+		minWire := sim.Time(0)
+		eng.Schedule(0, func() {
+			for i, r := range rawSizes {
+				size := int(r)%9000 + 1
+				src := NodeID(i % 4)
+				dst := NodeID((i + 1) % 4)
+				n.portAt(int(src)).Send(&Frame{Src: src, Dst: dst, Bytes: size, Payload: size})
+				sent++
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		delivered := 0
+		for _, s := range sinks {
+			for i, fr := range s.frames {
+				if fr.Payload.(int) != fr.Bytes {
+					return false
+				}
+				// Arrival must be at least two serializations + propagation.
+				lb := 2*n.TxTime(fr.Bytes) + 2*n.cfg.PropDelay
+				if !cut && s.times[i] < lb {
+					return false
+				}
+				delivered++
+			}
+		}
+		_ = minWire
+		return int64(delivered)+n.Dropped() == int64(sent) && n.Delivered() == int64(delivered)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPerPairOrdering: frames between one (src, dst) pair are
+// delivered in send order.
+func TestPropertyPerPairOrdering(t *testing.T) {
+	f := func(rawSizes []uint16) bool {
+		if len(rawSizes) > 48 {
+			rawSizes = rawSizes[:48]
+		}
+		eng := sim.NewEngine()
+		n, sinks := testNet(eng, true)
+		eng.Schedule(0, func() {
+			for i, r := range rawSizes {
+				size := int(r)%9000 + 1
+				n.portAt(0).Send(&Frame{Src: 0, Dst: 1, Bytes: size, Payload: i})
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		for i, fr := range sinks[1].frames {
+			if fr.Payload.(int) != i {
+				return false
+			}
+		}
+		return len(sinks[1].frames) == len(rawSizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

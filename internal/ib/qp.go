@@ -1,0 +1,397 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// pktKind classifies an IB packet.
+type pktKind int
+
+const (
+	pktData    pktKind = iota // RDMA Write, Send, or RDMA Read Response data
+	pktReadReq                // RDMA Read Request
+	pktAck                    // transport ACK (one per message)
+)
+
+// packet is one IB packet on the fabric.
+type packet struct {
+	dstQPN  int
+	kind    pktKind
+	op      verbs.Op // OpWrite or OpSend for pktData
+	payload []byte
+	n       int
+	offset  int
+	stag    mem.RKey
+	first   bool
+	last    bool
+	msg     *txMsg
+	rdMsg   *txMsg
+	rd      readReq
+	ackFor  *txMsg
+}
+
+type readReq struct {
+	srcKey  mem.RKey
+	srcOff  int
+	n       int
+	sinkKey mem.RKey
+	sinkOff int
+	msg     *txMsg
+}
+
+// txMsg tracks an outgoing RC message.
+type txMsg struct {
+	wr  verbs.WR
+	qpn int // origin QP number on the sending HCA
+}
+
+// inbound assembles an incoming Send message.
+type inbound struct {
+	buf   []byte
+	got   int
+	total int
+}
+
+// QP is one endpoint of a reliable connection.
+type QP struct {
+	hca  *HCA
+	qpn  int
+	peer *QP
+
+	scq    *verbs.CQ
+	rcq    *verbs.CQ
+	places *sim.Queue[verbs.Placement]
+	rxQ    *sim.Queue[*packet]
+	sendQ  *sim.Queue[verbs.WR]
+
+	recvQ []verbs.WR
+	early []*inbound
+	cur   *inbound
+	curWR *verbs.WR
+}
+
+func (h *HCA) newQP() *QP {
+	q := &QP{
+		hca:    h,
+		qpn:    len(h.qps),
+		scq:    verbs.NewCQ(h.eng, h.name+"/scq", h.cfg.PollDetect),
+		rcq:    verbs.NewCQ(h.eng, h.name+"/rcq", h.cfg.PollDetect),
+		places: sim.NewQueue[verbs.Placement](h.eng, h.name+"/placements"),
+		rxQ:    sim.NewQueue[*packet](h.eng, h.name+"/rxq"),
+		sendQ:  sim.NewQueue[verbs.WR](h.eng, h.name+"/sq"),
+	}
+	h.qps = append(h.qps, q)
+	h.eng.Go(fmt.Sprintf("%s/qp%d/rx", h.name, q.qpn), q.rxLoop)
+	h.eng.Go(fmt.Sprintf("%s/qp%d/tx", h.name, q.qpn), q.txLoop)
+	return q
+}
+
+// txLoop executes send work requests strictly in order, as the RC send
+// queue requires: packets of consecutive messages never interleave within
+// one QP.
+func (q *QP) txLoop(p *sim.Proc) {
+	for {
+		wr := q.sendQ.Get(p)
+		q.execute(p, wr)
+	}
+}
+
+// QPN implements verbs.QP.
+func (q *QP) QPN() int { return q.qpn }
+
+// SetCQs redirects this QP's completions into caller-provided queues; MPI
+// implementations point every QP of a process at one shared CQ. Must be
+// called before any traffic flows.
+func (q *QP) SetCQs(scq, rcq *verbs.CQ) {
+	q.scq = scq
+	q.rcq = rcq
+}
+
+// SendCQ implements verbs.QP.
+func (q *QP) SendCQ() *verbs.CQ { return q.scq }
+
+// RecvCQ implements verbs.QP.
+func (q *QP) RecvCQ() *verbs.CQ { return q.rcq }
+
+// Placements implements verbs.QP.
+func (q *QP) Placements() *sim.Queue[verbs.Placement] { return q.places }
+
+// PostSend implements verbs.QP.
+func (q *QP) PostSend(p *sim.Proc, wr verbs.WR) {
+	if wr.Len <= 0 {
+		panic(fmt.Sprintf("ib %s: zero-length work request", q.hca.name))
+	}
+	p.Sleep(q.hca.cfg.PostOverhead)
+	at := q.hca.pcie.Doorbell(32)
+	q.hca.eng.ScheduleAt(at, func() { q.sendQ.Put(wr) })
+}
+
+// PostRecv implements verbs.QP.
+func (q *QP) PostRecv(p *sim.Proc, wr verbs.WR) {
+	p.Sleep(q.hca.cfg.PostOverhead)
+	at := q.hca.pcie.Doorbell(32)
+	q.hca.eng.ScheduleAt(at, func() {
+		if len(q.early) > 0 {
+			m := q.early[0]
+			q.early = q.early[1:]
+			q.completeEarly(m, wr)
+			return
+		}
+		q.recvQ = append(q.recvQ, wr)
+	})
+}
+
+// execute runs one WQE on the send processor.
+func (q *QP) execute(wp *sim.Proc, wr verbs.WR) {
+	h := q.hca
+	switch wr.Op {
+	case verbs.OpWrite, verbs.OpSend:
+		msg := &txMsg{wr: wr, qpn: q.qpn}
+		// WQE fetch; small payloads ride inline in the descriptor.
+		desc := 64
+		inline := wr.Len <= h.cfg.InlineSize
+		if inline {
+			desc += wr.Len
+		}
+		h.pcie.Read(wp, desc)
+		q.stream(wp, wr.Op, wr.Local, wr.LocalOff, wr.Len, wr.RemoteKey, wr.RemoteOff, msg, nil, !inline)
+	case verbs.OpRead:
+		h.pcie.Read(wp, 64)
+		msg := &txMsg{wr: wr, qpn: q.qpn}
+		q.engineSend(wp, true, &packet{
+			dstQPN: q.peer.qpn,
+			kind:   pktReadReq,
+			n:      28,
+			rd: readReq{
+				srcKey:  wr.RemoteKey,
+				srcOff:  wr.RemoteOff,
+				n:       wr.Len,
+				sinkKey: wr.Local.Key,
+				sinkOff: wr.LocalOff,
+				msg:     msg,
+			},
+		})
+	default:
+		panic(fmt.Sprintf("ib %s: bad op %v on send queue", h.name, wr.Op))
+	}
+}
+
+// stream packetizes one message through the send processor. dma controls
+// whether payload is fetched from host memory (false for inline sends and
+// for read responses sourced by the responder, which still DMA — the
+// responder passes true).
+func (q *QP) stream(wp *sim.Proc, op verbs.Op, src *mem.Region, srcOff, n int, stag mem.RKey, remoteOff int, msg *txMsg, rdMsg *txMsg, dma bool) {
+	h := q.hca
+	mtu := h.cfg.MTU
+	nsegs := (n + mtu - 1) / mtu
+
+	_ = nsegs
+	// Snapshot the message payload once; packets alias into it.
+	var snapshot []byte
+	if n > 0 {
+		snapshot = append([]byte(nil), src.Slice(srcOff, n)...)
+	}
+	// One-packet DMA prefetch (see iwarp.emitSegments for the rationale).
+	var ready sim.Time
+	if dma && n > 0 {
+		ready = h.dmaRead(wp.Now(), min(mtu, n))
+	}
+	for off := 0; off < n; off += mtu {
+		take := min(mtu, n-off)
+		if dma {
+			cur := ready
+			if next := off + take; next < n {
+				ready = h.dmaRead(wp.Now(), min(mtu, n-next))
+			}
+			wp.SleepUntil(cur)
+		}
+		pk := &packet{
+			dstQPN: q.peer.qpn,
+			kind:   pktData,
+			op:     op,
+			n:      take,
+			offset: remoteOff + off,
+			stag:   stag,
+			first:  off == 0,
+			last:   off+take == n,
+			msg:    msg,
+			rdMsg:  rdMsg,
+		}
+		if op == verbs.OpSend {
+			pk.offset = off
+		}
+		pk.payload = snapshot[off : off+take]
+		q.engineSend(wp, pk.first, pk)
+	}
+}
+
+// engineSend pushes one packet through the (capacity-1) send processor,
+// paying a context reload if this QP fell out of the context cache and the
+// completion-writeback cost after the final packet of a message.
+func (q *QP) engineSend(wp *sim.Proc, firstOfMsg bool, pk *packet) {
+	h := q.hca
+	h.txEngine.Acquire(wp, 1)
+	hold := h.cfg.TxPktTime
+	if firstOfMsg && h.ctx.touch(q.qpn) {
+		hold += h.cfg.CtxMissTime
+	}
+	wp.Sleep(hold)
+	q.emit(pk)
+	if pk.last || pk.kind != pktData {
+		wp.Sleep(h.cfg.CqeTime)
+	}
+	h.txEngine.Release(1)
+}
+
+// dmaRead books one chained, fair-shared payload fetch and returns its
+// completion time.
+func (h *HCA) dmaRead(now sim.Time, bytes int) sim.Time {
+	start := now
+	first := h.chainEnd <= start
+	if h.chainEnd > start {
+		start = h.chainEnd
+	}
+	h.chainEnd = h.pcie.ReadChained(start, bytes, first)
+	return h.chainEnd
+}
+
+// emit puts a packet on the wire.
+func (q *QP) emit(pk *packet) {
+	q.hca.port.Send(&fabric.Frame{
+		Src:     q.hca.port.ID(),
+		Dst:     q.peer.hca.port.ID(),
+		Bytes:   pk.n + q.hca.cfg.PacketHeader,
+		Payload: pk,
+	})
+}
+
+// rxLoop is the per-QP receive process; the capacity-1 receive processor is
+// shared across all QPs of the HCA.
+func (q *QP) rxLoop(p *sim.Proc) {
+	h := q.hca
+	for {
+		pk := q.rxQ.Get(p)
+		switch pk.kind {
+		case pktAck:
+			h.rxEngine.Use(p, h.cfg.AckTime)
+			m := pk.ackFor
+			if m.wr.Op == verbs.OpWrite || m.wr.Op == verbs.OpSend {
+				// The ACK returns to the QP that sent the message.
+				orig := h.qps[m.qpn]
+				orig.scq.Push(verbs.Completion{WRID: m.wr.ID, Op: m.wr.Op, Len: m.wr.Len, At: h.eng.Now()})
+			}
+		case pktReadReq:
+			h.rxEngine.Use(p, h.cfg.RxPktTime)
+			rd := pk.rd
+			region, ok := h.reg.Lookup(rd.srcKey)
+			if !ok {
+				panic(fmt.Sprintf("ib %s: read request for unknown rkey %d", h.name, rd.srcKey))
+			}
+			h.eng.Go(fmt.Sprintf("%s/qp%d/read-resp", h.name, q.qpn), func(rp *sim.Proc) {
+				q.stream(rp, verbs.OpWrite, region, rd.srcOff, rd.n, rd.sinkKey, rd.sinkOff, nil, rd.msg, true)
+			})
+		case pktData:
+			q.handleData(p, pk)
+		}
+	}
+}
+
+// handleData performs DDP-equivalent placement for an arriving data packet.
+func (q *QP) handleData(p *sim.Proc, pk *packet) {
+	h := q.hca
+	h.rxEngine.Acquire(p, 1)
+	hold := h.cfg.RxPktTime
+	if pk.first && h.ctx.touch(q.qpn) {
+		hold += h.cfg.CtxMissTime
+	}
+	p.Sleep(hold)
+	h.rxEngine.Release(1)
+
+	switch {
+	case pk.op == verbs.OpWrite:
+		region, ok := h.reg.Lookup(pk.stag)
+		if !ok {
+			panic(fmt.Sprintf("ib %s: RDMA write to unknown rkey %d", h.name, pk.stag))
+		}
+		t := h.pcie.WriteFrom(h.eng.Now(), pk.n)
+		pkc := pk
+		h.eng.ScheduleAt(t, func() {
+			copy(region.Buf.Slice(region.Off+pkc.offset, pkc.n), pkc.payload)
+			q.places.Put(verbs.Placement{Key: pkc.stag, Off: pkc.offset, Len: pkc.n, At: h.eng.Now()})
+			if pkc.last {
+				if pkc.rdMsg != nil {
+					q.scq.Push(verbs.Completion{WRID: pkc.rdMsg.wr.ID, Op: verbs.OpRead, Len: pkc.rdMsg.wr.Len, At: h.eng.Now()})
+				} else if pkc.msg != nil {
+					q.ack(pkc.msg)
+				}
+			}
+		})
+	case pk.op == verbs.OpSend:
+		if pk.first {
+			q.cur = &inbound{}
+			q.curWR = nil
+			if len(q.recvQ) > 0 {
+				wr := q.recvQ[0]
+				q.recvQ = q.recvQ[1:]
+				q.curWR = &wr
+			}
+		}
+		if q.cur == nil {
+			panic(fmt.Sprintf("ib %s: send continuation with no assembly", h.name))
+		}
+		q.cur.got += pk.n
+		if q.curWR != nil {
+			if pk.offset+pk.n > q.curWR.Local.Len {
+				panic(fmt.Sprintf("ib %s: send overruns recv buffer", h.name))
+			}
+			t := h.pcie.WriteFrom(h.eng.Now(), pk.n)
+			wr, cur, pkc := q.curWR, q.cur, pk
+			h.eng.ScheduleAt(t, func() {
+				copy(wr.Local.Slice(wr.LocalOff+pkc.offset, pkc.n), pkc.payload)
+				if pkc.last {
+					q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: cur.got, At: h.eng.Now()})
+					q.ack(pkc.msg)
+				}
+			})
+		} else {
+			for len(q.cur.buf) < pk.offset {
+				q.cur.buf = append(q.cur.buf, 0)
+			}
+			q.cur.buf = append(q.cur.buf[:pk.offset], pk.payload...)
+			if pk.last {
+				q.ack(pk.msg)
+			}
+		}
+		if pk.last {
+			q.cur.total = q.cur.got
+			if q.curWR == nil {
+				q.early = append(q.early, q.cur)
+			}
+			q.cur = nil
+			q.curWR = nil
+		}
+	}
+}
+
+// ack emits a transport ACK for a fully-arrived message.
+func (q *QP) ack(msg *txMsg) {
+	q.emit(&packet{dstQPN: q.peer.qpn, kind: pktAck, n: 0, ackFor: msg})
+}
+
+// completeEarly flushes a buffered early Send into a just-posted receive.
+func (q *QP) completeEarly(m *inbound, wr verbs.WR) {
+	h := q.hca
+	if m.total > wr.Local.Len {
+		panic(fmt.Sprintf("ib %s: early send overruns recv buffer", h.name))
+	}
+	t := h.pcie.WriteFrom(h.eng.Now(), m.total)
+	h.eng.ScheduleAt(t, func() {
+		copy(wr.Local.Slice(wr.LocalOff, m.total), m.buf[:m.total])
+		q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: m.total, At: h.eng.Now()})
+	})
+}

@@ -1,0 +1,86 @@
+// Package iwarp models a 10-Gigabit iWARP Ethernet channel adapter in the
+// style of the NetEffect NE010 the paper evaluates: the iWARP verbs / RDMAP /
+// DDP / MPA protocol suite running on an offloaded TCP engine, implemented
+// by a pipelined protocol engine that is bridged to the host PCIe slot
+// through an internal 64-bit/133 MHz PCI-X bus.
+//
+// Protocol layering (bottom of Section 2.3 of the paper):
+//
+//	verbs  -> QP/CQ semantics, work requests            (qp.go)
+//	RDMAP  -> RDMA Write / Read / Send operations        (qp.go)
+//	DDP    -> tagged & untagged direct data placement    (qp.go, mpa.go)
+//	MPA    -> FPDU framing, markers, CRC over TCP        (mpa.go)
+//	TCP    -> reliable byte stream (offloaded)           (internal/tcpsim)
+//	Eth    -> 10GigE frames through a cut-through switch (internal/fabric)
+package iwarp
+
+// MPA/DDP/RDMAP framing constants (MPA: RFC 5044-era draft; DDP/RDMAP:
+// RDMA-consortium specs the paper cites as [6], [5], [11]).
+const (
+	// MarkerInterval is the spacing of MPA markers in the TCP stream.
+	MarkerInterval = 512
+	// MarkerBytes is the size of one MPA marker.
+	MarkerBytes = 4
+	// CRCBytes is the MPA CRC32c trailer.
+	CRCBytes = 4
+	// ULPDULenBytes is the MPA length prefix.
+	ULPDULenBytes = 2
+	// TaggedHeader is the DDP+RDMAP header for tagged messages (RDMA Write
+	// and RDMA Read Response): DDP tagged header with STag and offset.
+	TaggedHeader = 14
+	// UntaggedHeader is the DDP+RDMAP header for untagged messages (Send,
+	// RDMA Read Request): queue number, MSN, message offset.
+	UntaggedHeader = 18
+	// ReadRequestBytes is the RDMAP Read Request payload (sink/source STags,
+	// offsets and length).
+	ReadRequestBytes = 28
+)
+
+// Framing captures the MPA configuration of a connection.
+type Framing struct {
+	// Markers enables MPA marker insertion (the standard requires them for
+	// out-of-order placement; the benchmark ablation can turn them off).
+	Markers bool
+	// CRC enables the MPA CRC trailer.
+	CRC bool
+}
+
+// DefaultFraming is the spec-compliant configuration.
+var DefaultFraming = Framing{Markers: true, CRC: true}
+
+// FPDUBytes returns the number of TCP payload bytes one FPDU occupies for a
+// DDP segment with the given header size and ULP payload.
+func (f Framing) FPDUBytes(header, payload int) int {
+	n := ULPDULenBytes + header + payload
+	if f.CRC {
+		n += CRCBytes
+	}
+	if f.Markers {
+		// One marker per MarkerInterval of stream; approximated per-FPDU
+		// (real MPA places them at absolute stream positions).
+		n += (n + MarkerInterval - 1) / MarkerInterval * MarkerBytes
+	}
+	return n
+}
+
+// MaxPayload returns the largest ULP payload whose FPDU fits in mss TCP
+// bytes (the MULPDU of RFC 5044).
+func (f Framing) MaxPayload(header, mss int) int {
+	lo, hi := 0, mss
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if f.FPDUBytes(header, mid) <= mss {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Overhead returns the fraction of TCP payload bytes spent on framing for
+// maximal-size tagged FPDUs at the given MSS.
+func (f Framing) Overhead(mss int) float64 {
+	p := f.MaxPayload(TaggedHeader, mss)
+	return 1 - float64(p)/float64(f.FPDUBytes(TaggedHeader, p))
+}

@@ -1,0 +1,62 @@
+package iwarp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyFPDUMonotone: framing size strictly grows with payload and
+// always exceeds it.
+func TestPropertyFPDUMonotone(t *testing.T) {
+	f := func(rawA, rawB uint16, markers, crc bool) bool {
+		a, b := int(rawA), int(rawB)
+		if a > b {
+			a, b = b, a
+		}
+		fr := Framing{Markers: markers, CRC: crc}
+		fa := fr.FPDUBytes(TaggedHeader, a)
+		fb := fr.FPDUBytes(TaggedHeader, b)
+		if fa > fb {
+			return false
+		}
+		return fa > a && fb > b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMaxPayloadTight: for any MSS, MaxPayload fits and is maximal.
+func TestPropertyMaxPayloadTight(t *testing.T) {
+	f := func(rawMSS uint16, markers, crc bool) bool {
+		mss := int(rawMSS)%16000 + 256
+		fr := Framing{Markers: markers, CRC: crc}
+		for _, hdr := range []int{TaggedHeader, UntaggedHeader} {
+			p := fr.MaxPayload(hdr, mss)
+			if p <= 0 {
+				return false
+			}
+			if fr.FPDUBytes(hdr, p) > mss {
+				return false
+			}
+			if fr.FPDUBytes(hdr, p+1) <= mss {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOverheadBounded: spec framing overhead stays under 3% at
+// jumbo MSS and under 10% even at 1500-byte MSS.
+func TestPropertyOverheadBounded(t *testing.T) {
+	if ov := DefaultFraming.Overhead(8960); ov > 0.03 {
+		t.Errorf("jumbo overhead %.3f > 3%%", ov)
+	}
+	if ov := DefaultFraming.Overhead(1460); ov > 0.10 {
+		t.Errorf("1500-MTU overhead %.3f > 10%%", ov)
+	}
+}

@@ -1,0 +1,74 @@
+package logp
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestGapOrdering(t *testing.T) {
+	// Paper, Fig. 5: small-message gap is ~2us for iWARP and Myrinet and
+	// ~3us for IB (the worst).
+	gIW := Gap(cluster.IWARP, 1, 48)
+	gIB := Gap(cluster.IB, 1, 48)
+	gMX := Gap(cluster.MXoM, 1, 48)
+	if gIB <= gIW || gIB <= gMX {
+		t.Errorf("IB gap (%v) should be the largest (iWARP %v, MX %v)", gIB, gIW, gMX)
+	}
+	if gIW > 2*gMX {
+		t.Errorf("iWARP gap (%v) should be near Myrinet's (%v)", gIW, gMX)
+	}
+}
+
+func TestGapGrowsWithSize(t *testing.T) {
+	for _, kind := range []cluster.Kind{cluster.IWARP, cluster.IB, cluster.MXoM} {
+		small := Gap(kind, 1, 32)
+		big := Gap(kind, 64<<10, 16)
+		if big <= small {
+			t.Errorf("%v: g(64K)=%v not larger than g(1)=%v", kind, big, small)
+		}
+	}
+}
+
+func TestSenderOverheadSmallAndFlat(t *testing.T) {
+	for _, kind := range cluster.Kinds {
+		os1 := SenderOverhead(kind, 1, 8)
+		if os1 > 2*sim.Microsecond {
+			t.Errorf("%v: Os(1) = %v, want ~1us or less", kind, os1)
+		}
+		// Rendezvous-size sends post only an RTS: Os stays small.
+		osBig := SenderOverhead(kind, 256<<10, 4)
+		if osBig > 2*sim.Microsecond {
+			t.Errorf("%v: Os(256K) = %v, want small (rendezvous posts only RTS)", kind, osBig)
+		}
+	}
+}
+
+func TestReceiverOverheadJump(t *testing.T) {
+	// The paper's central Fig. 5 observation: Or jumps at the rendezvous
+	// switch for iWARP and IB (no progress while the receiver computes) but
+	// stays flat for Myrinet (NIC-driven progression).
+	for _, kind := range cluster.VerbsKinds {
+		small := ReceiverOverhead(kind, 1<<10, 3)
+		big := ReceiverOverhead(kind, 128<<10, 3)
+		if big < 10*small {
+			t.Errorf("%v: Or did not jump at rendezvous sizes: %v -> %v", kind, small, big)
+		}
+	}
+	mxSmall := ReceiverOverhead(cluster.MXoM, 1<<10, 3)
+	mxBig := ReceiverOverhead(cluster.MXoM, 128<<10, 3)
+	if mxBig > 4*mxSmall {
+		t.Errorf("MXoM: Or jumped (%v -> %v) despite the progression thread", mxSmall, mxBig)
+	}
+}
+
+func TestMeasureBundles(t *testing.T) {
+	p := Measure(cluster.IB, 1024)
+	if p.G <= 0 || p.Os <= 0 || p.Or <= 0 {
+		t.Errorf("Measure returned non-positive params: %+v", p)
+	}
+	if p.Os >= p.G {
+		t.Errorf("Os (%v) should be below g (%v)", p.Os, p.G)
+	}
+}

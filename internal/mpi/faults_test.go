@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// TestMPIOverLossyEthernet: the iWARP stack rides a real reliability layer
+// (the offloaded TCP), so frame loss on the Ethernet must be invisible to
+// MPI except as added latency. Inject random loss and verify a full
+// mixed-size bidirectional exchange bit-for-bit. (The IB and MX fabrics are
+// link-level lossless in hardware and in the model, so only the Ethernet
+// stack faces this.)
+func TestMPIOverLossyEthernet(t *testing.T) {
+	tb, w := DefaultWorld(cluster.IWARP, 2)
+	defer tb.Close()
+	rng := sim.NewRNG(2026)
+	dropped := 0
+	tb.Fabric.DropFn = func(f *fabric.Frame) bool {
+		if rng.Float64() < 0.10 {
+			dropped++
+			return true
+		}
+		return false
+	}
+	sizes := []int{1, 4 << 10, 100 << 10, 64, 64 << 10}
+	for r := 0; r < 2; r++ {
+		r := r
+		p := w.Rank(r)
+		tb.Eng.Go(fmt.Sprintf("rank%d", r), func(pr *sim.Proc) {
+			peer := 1 - r
+			var reqs []*Request
+			for i, n := range sizes {
+				b := p.Host().Mem.Alloc(n)
+				b.Fill(byte(r*20 + i))
+				reqs = append(reqs, p.Isend(pr, peer, i, b, 0, n))
+			}
+			for i, n := range sizes {
+				b := p.Host().Mem.Alloc(n)
+				st := p.Recv(pr, peer, i, b, 0, n)
+				if st.Count != n || !b.Equal(byte(peer*20+i), 0, n) {
+					t.Errorf("rank %d message %d corrupt under loss", r, i)
+				}
+			}
+			p.WaitAll(pr, reqs)
+		})
+	}
+	if err := tb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Error("loss injection never fired; test is vacuous")
+	}
+}
+
+// TestMPILossyVsCleanLatency: loss costs time (retransmissions), never
+// correctness. A lossy run must be strictly slower than a clean one.
+func TestMPILossyVsCleanLatency(t *testing.T) {
+	elapsed := func(loss float64) sim.Time {
+		tb, w := DefaultWorld(cluster.IWARP, 2)
+		defer tb.Close()
+		if loss > 0 {
+			rng := sim.NewRNG(7)
+			tb.Fabric.DropFn = func(f *fabric.Frame) bool { return rng.Float64() < loss }
+		}
+		var total sim.Time
+		tb.Eng.Go("rank0", func(pr *sim.Proc) {
+			p := w.Rank(0)
+			buf := p.Host().Mem.Alloc(32 << 10)
+			buf.Fill(1)
+			p.Barrier(pr)
+			start := pr.Now()
+			for i := 0; i < 10; i++ {
+				p.Send(pr, 1, 1, buf, 0, 32<<10)
+				p.Recv(pr, 1, 2, buf, 0, 32<<10)
+			}
+			total = pr.Now() - start
+		})
+		tb.Eng.Go("rank1", func(pr *sim.Proc) {
+			p := w.Rank(1)
+			buf := p.Host().Mem.Alloc(32 << 10)
+			p.Barrier(pr)
+			for i := 0; i < 10; i++ {
+				p.Recv(pr, 0, 1, buf, 0, 32<<10)
+				p.Send(pr, 0, 2, buf, 0, 32<<10)
+			}
+		})
+		if err := tb.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	clean := elapsed(0)
+	lossy := elapsed(0.05)
+	if lossy <= clean {
+		t.Errorf("5%% loss run (%v) not slower than clean run (%v)", lossy, clean)
+	}
+}

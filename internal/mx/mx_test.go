@@ -1,0 +1,367 @@
+package mx
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+type rig struct {
+	eng    *sim.Engine
+	net    *fabric.Network
+	m0, m1 *mem.Memory
+	e0, e1 *Endpoint
+}
+
+// myrinetFabric is the MXoM configuration (Myri-10G switch).
+func myrinetFabric(eng *sim.Engine) *fabric.Network {
+	return fabric.New(eng, fabric.Config{
+		Name:          "myri-10g",
+		LinkRate:      sim.Gbps(10),
+		FrameOverhead: 8,
+		HeaderBytes:   32,
+		SwitchLatency: 300 * sim.Nanosecond,
+		PropDelay:     25 * sim.Nanosecond,
+		CutThrough:    true,
+	})
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := myrinetFabric(eng)
+	m0 := mem.NewMemory(eng, "host0")
+	m1 := mem.NewMemory(eng, "host1")
+	cfg := DefaultConfig()
+	e0 := NewEndpoint(eng, "mx0", m0, net, cfg)
+	e1 := NewEndpoint(eng, "mx1", m1, net, cfg)
+	return &rig{eng: eng, net: net, m0: m0, m1: m1, e0: e0, e1: e1}
+}
+
+func (r *rig) close() { r.eng.Close() }
+
+func TestEagerExpectedDelivery(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	src := r.m0.Alloc(1024)
+	dst := r.m1.Alloc(1024)
+	src.Fill(3)
+	r.eng.Go("recv", func(p *sim.Proc) {
+		h := r.e1.Irecv(p, 0x42, ^uint64(0), dst, 0, 1024)
+		h.Wait(p)
+		if h.Len != 1024 || h.Src != r.e0 || h.Match != 0x42 {
+			t.Errorf("recv handle = %+v", h)
+		}
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		h := r.e0.Isend(p, r.e1, 0x42, src, 0, 1024)
+		h.Wait(p)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(3, 0, 1024) {
+		t.Error("eager data not delivered")
+	}
+	if r.e1.UnexpectedArrivals != 0 || r.e1.PostedMatchedOnNIC != 1 {
+		t.Errorf("unexpected=%d matched=%d", r.e1.UnexpectedArrivals, r.e1.PostedMatchedOnNIC)
+	}
+}
+
+func TestEagerUnexpectedDelivery(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	src := r.m0.Alloc(2048)
+	dst := r.m1.Alloc(2048)
+	src.Fill(8)
+	r.eng.Go("send", func(p *sim.Proc) {
+		r.e0.Isend(p, r.e1, 7, src, 0, 2048)
+	})
+	r.eng.Go("recv", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond) // message is unexpected
+		h := r.e1.Irecv(p, 7, ^uint64(0), dst, 0, 2048)
+		h.Wait(p)
+		if h.Len != 2048 {
+			t.Errorf("len = %d", h.Len)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(8, 0, 2048) {
+		t.Error("unexpected eager data lost")
+	}
+	if r.e1.UnexpectedArrivals != 1 {
+		t.Errorf("unexpected arrivals = %d", r.e1.UnexpectedArrivals)
+	}
+}
+
+func TestMatchMaskWildcards(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	src := r.m0.Alloc(64)
+	dst := r.m1.Alloc(64)
+	src.Fill(1)
+	r.eng.Go("recv", func(p *sim.Proc) {
+		// Match only the low 32 bits (like MPI matching tag, any source).
+		h := r.e1.Irecv(p, 0x1234, 0xFFFFFFFF, dst, 0, 64)
+		h.Wait(p)
+		if h.Match != 0xABCD_0000_1234 {
+			t.Errorf("match = %x", h.Match)
+		}
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		r.e0.Isend(p, r.e1, 0xABCD_0000_1234, src, 0, 64)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(1, 0, 64) {
+		t.Error("wildcard match failed")
+	}
+}
+
+func TestNonMatchingStaysQueued(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	src := r.m0.Alloc(64)
+	dstA := r.m1.Alloc(64)
+	dstB := r.m1.Alloc(64)
+	src.Fill(1)
+	var hA, hB *Handle
+	r.eng.Go("recv", func(p *sim.Proc) {
+		hA = r.e1.Irecv(p, 111, ^uint64(0), dstA, 0, 64)
+		hB = r.e1.Irecv(p, 222, ^uint64(0), dstB, 0, 64)
+		hB.Wait(p)
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		r.e0.Isend(p, r.e1, 222, src, 0, 64)
+	})
+	if err := r.eng.RunUntil(sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !hB.Test() {
+		t.Error("matching receive did not complete")
+	}
+	if hA.Test() {
+		t.Error("non-matching receive completed")
+	}
+	if !dstB.Equal(1, 0, 64) {
+		t.Error("message delivered to wrong buffer")
+	}
+}
+
+func TestRendezvousTransfer(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	const n = 256 << 10 // 256 KB: rendezvous
+	src := r.m0.Alloc(n)
+	dst := r.m1.Alloc(n)
+	src.Fill(5)
+	var sendDone, recvDone bool
+	r.eng.Go("recv", func(p *sim.Proc) {
+		h := r.e1.Irecv(p, 9, ^uint64(0), dst, 0, n)
+		h.Wait(p)
+		recvDone = true
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		h := r.e0.Isend(p, r.e1, 9, src, 0, n)
+		h.Wait(p)
+		sendDone = true
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sendDone || !recvDone {
+		t.Fatalf("send=%v recv=%v", sendDone, recvDone)
+	}
+	if !dst.Equal(5, 0, n) {
+		t.Error("rendezvous data corrupt")
+	}
+	if r.e0.RndvSent != 1 {
+		t.Errorf("rndv sends = %d", r.e0.RndvSent)
+	}
+}
+
+func TestRendezvousUnexpectedRTS(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	const n = 64 << 10
+	src := r.m0.Alloc(n)
+	dst := r.m1.Alloc(n)
+	src.Fill(6)
+	r.eng.Go("send", func(p *sim.Proc) {
+		h := r.e0.Isend(p, r.e1, 13, src, 0, n)
+		h.Wait(p)
+	})
+	r.eng.Go("recv", func(p *sim.Proc) {
+		p.Sleep(100 * sim.Microsecond) // RTS parks as unexpected
+		h := r.e1.Irecv(p, 13, ^uint64(0), dst, 0, n)
+		h.Wait(p)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(6, 0, n) {
+		t.Error("late-matched rendezvous data corrupt")
+	}
+}
+
+func TestSmallMessageLatencyRange(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	src := r.m0.Alloc(64)
+	dst := r.m1.Alloc(64)
+	src.Fill(1)
+	var lat sim.Time
+	r.eng.Go("timer", func(p *sim.Proc) {
+		hr := r.e1.Irecv(p, 3, ^uint64(0), dst, 0, 64)
+		start := p.Now()
+		r.e0.Isend(p, r.e1, 3, src, 0, 64)
+		hr.Wait(p)
+		lat = p.Now() - start
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~3us one-way for small MX messages over the Myrinet switch.
+	if lat < sim.Micros(2) || lat > sim.Micros(4.5) {
+		t.Errorf("one-way small-message latency = %v, want ~3us", lat)
+	}
+}
+
+func TestStreamingBandwidthPCIeX4Bound(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	const msg = 16 << 10
+	const count = 256
+	src := r.m0.Alloc(msg)
+	dst := r.m1.Alloc(msg)
+	src.Fill(1)
+	var start, end sim.Time
+	r.eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			h := r.e1.Irecv(p, uint64(i), ^uint64(0), dst, 0, msg)
+			h.Wait(p)
+		}
+		end = p.Now()
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		start = p.Now()
+		handles := make([]*Handle, count)
+		for i := 0; i < count; i++ {
+			handles[i] = r.e0.Isend(p, r.e1, uint64(i), src, 0, msg)
+		}
+		for _, h := range handles {
+			h.Wait(p)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bw := sim.MBpsOf(count*msg, end-start)
+	// The x4 PCIe slot (~950 MB/s effective) is the bottleneck, matching
+	// the paper's <=75%-of-line-rate observation for Myri-10G.
+	if bw < 820 || bw > 980 {
+		t.Errorf("streaming bandwidth = %.0f MB/s, want ~850-960", bw)
+	}
+}
+
+func TestPostedQueueTraversalCostOnNIC(t *testing.T) {
+	// Preload many non-matching posted receives: the NIC pays per-entry
+	// traversal for an arriving message (the Fig. 8 mechanism).
+	lat := func(prepost int) sim.Time {
+		r := newRig(t)
+		defer r.close()
+		src := r.m0.Alloc(64)
+		dst := r.m1.Alloc(64)
+		junk := r.m1.Alloc(64)
+		src.Fill(1)
+		var d sim.Time
+		r.eng.Go("bench", func(p *sim.Proc) {
+			for i := 0; i < prepost; i++ {
+				r.e1.Irecv(p, uint64(1000+i), ^uint64(0), junk, 0, 64)
+			}
+			h := r.e1.Irecv(p, 5, ^uint64(0), dst, 0, 64)
+			p.Yield()
+			start := p.Now()
+			r.e0.Isend(p, r.e1, 5, src, 0, 64)
+			h.Wait(p)
+			d = p.Now() - start
+		})
+		if err := r.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	l0 := lat(0)
+	l256 := lat(256)
+	grow := l256 - l0
+	wantMin := 256 * DefaultConfig().MatchPerEntry * 8 / 10
+	if grow < wantMin {
+		t.Errorf("256-deep posted queue adds %v, want >= %v", grow, wantMin)
+	}
+}
+
+func TestRegCacheAblation(t *testing.T) {
+	// With the internal registration cache disabled, every rendezvous pays
+	// registration on both sides.
+	run := func(enabled bool) sim.Time {
+		r := newRig(t)
+		defer r.close()
+		r.e0.RegCache().Enabled = enabled
+		r.e1.RegCache().Enabled = enabled
+		const n = 128 << 10
+		src := r.m0.Alloc(n)
+		dst := r.m1.Alloc(n)
+		src.Fill(1)
+		var total sim.Time
+		r.eng.Go("bench", func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < 4; i++ {
+				h := r.e1.Irecv(p, uint64(i), ^uint64(0), dst, 0, n)
+				hs := r.e0.Isend(p, r.e1, uint64(i), src, 0, n)
+				h.Wait(p)
+				hs.Wait(p)
+			}
+			total = p.Now() - start
+		})
+		if err := r.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	withCache := run(true)
+	without := run(false)
+	if without <= withCache {
+		t.Errorf("disabled reg cache (%v) not slower than enabled (%v)", without, withCache)
+	}
+}
+
+func TestZeroByteMessage(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	buf := r.m0.Alloc(16)
+	rbuf := r.m1.Alloc(16)
+	r.eng.Go("recv", func(p *sim.Proc) {
+		h := r.e1.Irecv(p, 77, ^uint64(0), rbuf, 0, 0)
+		h.Wait(p)
+		if h.Len != 0 {
+			t.Errorf("len = %d", h.Len)
+		}
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		h := r.e0.Isend(p, r.e1, 77, buf, 0, 0)
+		h.Wait(p)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+// Completion is a one-shot event that processes can wait on. It may carry a
+// value. The zero value is not usable; create completions with NewCompletion.
+type Completion struct {
+	e       *Engine
+	done    bool
+	at      Time
+	value   any
+	waiters []*Proc
+	subs    []func()
+}
+
+// NewCompletion returns an unfired completion bound to e.
+func NewCompletion(e *Engine) *Completion {
+	return &Completion{e: e}
+}
+
+// Fired reports whether the completion has fired.
+func (c *Completion) Fired() bool { return c.done }
+
+// FiredAt returns the virtual time the completion fired at. It is only
+// meaningful once Fired reports true.
+func (c *Completion) FiredAt() Time { return c.at }
+
+// Value returns the value passed to FireValue, or nil.
+func (c *Completion) Value() any { return c.value }
+
+// Fire marks the completion done and wakes all waiters, in the order they
+// began waiting. Firing twice panics: completions are one-shot by design, so
+// a double fire always indicates a protocol bug in the caller.
+func (c *Completion) Fire() { c.FireValue(nil) }
+
+// FireValue is Fire with an attached value.
+func (c *Completion) FireValue(v any) {
+	if c.done {
+		panic("sim: Completion fired twice")
+	}
+	c.value = v
+	c.fire()
+}
+
+func (c *Completion) fire() {
+	c.done = true
+	c.at = c.e.now
+	for _, p := range c.waiters {
+		p.unpark()
+	}
+	c.waiters = nil
+	for _, fn := range c.subs {
+		fn()
+	}
+	c.subs = nil
+}
+
+// Wait blocks the process until the completion fires. It returns immediately
+// if it already fired.
+func (c *Completion) Wait(p *Proc) {
+	if c.done {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// OnFire registers fn to run (in engine context) when the completion fires.
+// If it already fired, fn runs immediately.
+func (c *Completion) OnFire(fn func()) {
+	if c.done {
+		fn()
+		return
+	}
+	c.subs = append(c.subs, fn)
+}
+
+// WaitAll blocks p until every completion in cs has fired.
+func WaitAll(p *Proc, cs ...*Completion) {
+	for _, c := range cs {
+		c.Wait(p)
+	}
+}

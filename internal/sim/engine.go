@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 once fired or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine. An Engine must only be used from a single OS
+// thread of control: the goroutine that calls Run plus the cooperative
+// processes it dispatches (which never run concurrently with each other).
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   map[*Proc]struct{}
+	current *Proc
+	stopped bool
+	closed  bool
+	err     error
+
+	// Tracer, if non-nil, receives a line for every traced action. It is
+	// meant for debugging; production runs leave it nil.
+	Tracer func(t Time, who, msg string)
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Trace emits a trace line if a Tracer is installed.
+func (e *Engine) Trace(who, format string, args ...any) {
+	if e.Tracer != nil {
+		e.Tracer(e.now, who, fmt.Sprintf(format, args...))
+	}
+}
+
+// Schedule arranges for fn to run at now+after. A negative delay is treated
+// as zero. fn runs in engine context: it must not block on virtual time (use
+// a Proc for that) but it may schedule further events, fire Completions, put
+// to Queues and release Resources.
+func (e *Engine) Schedule(after Time, fn func()) *Event {
+	if e.closed {
+		panic("sim: Schedule on closed engine")
+	}
+	if after < 0 {
+		after = 0
+	}
+	ev := &Event{at: e.now + after, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// ScheduleAt is Schedule with an absolute timestamp, which must not be in
+// the past.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) in the past (now %v)", at, e.now))
+	}
+	return e.Schedule(at-e.now, fn)
+}
+
+// Run executes events until none remain or Stop is called. It returns the
+// first process failure, if any. Processes still blocked when the event heap
+// drains simply remain parked; use Close to unwind them.
+func (e *Engine) Run() error {
+	if e.closed {
+		return fmt.Errorf("sim: Run on closed engine")
+	}
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.err == nil {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now)
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.err
+}
+
+// RunFor runs the engine for at most d virtual time.
+func (e *Engine) RunFor(d Time) error { return e.RunUntil(e.now + d) }
+
+// RunUntil runs the engine until virtual time t (inclusive of events at t).
+func (e *Engine) RunUntil(t Time) error {
+	stop := e.Schedule(t-e.now, func() { e.Stop() })
+	err := e.Run()
+	stop.Cancel()
+	if e.now < t && err == nil {
+		// Event heap drained early; advance the clock to the requested time.
+		e.now = t
+	}
+	return err
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Idle reports whether no events are pending.
+func (e *Engine) Idle() bool { return len(e.events) == 0 }
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveProcs returns the number of processes that have been started and have
+// not yet finished.
+func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// fail records a fatal simulation error and stops the run loop.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.stopped = true
+}
+
+// Close terminates every live process by unwinding its goroutine, then marks
+// the engine unusable. It must not be called from process context. Close is
+// idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	if e.current != nil {
+		panic("sim: Close called from process context")
+	}
+	defer func() { e.closed = true }()
+	// Parked and not-yet-started processes are all blocked on <-p.resume.
+	// Killing dispatches them once with the killed flag set, which makes
+	// their next (or current) yield point panic with errProcKilled; the
+	// recover in the proc trampoline swallows it.
+	for len(e.procs) > 0 {
+		var p *Proc
+		for q := range e.procs {
+			if p == nil || q.id < p.id {
+				p = q // deterministic order
+			}
+		}
+		p.killed = true
+		e.dispatch(p)
+		if _, live := e.procs[p]; live {
+			panic(fmt.Sprintf("sim: proc %q survived kill", p.name))
+		}
+	}
+}
+
+// dispatch hands control to p and blocks until p yields back. It is the only
+// way process code ever runs.
+func (e *Engine) dispatch(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-p.yielded
+	e.current = prev
+	if p.dead {
+		delete(e.procs, p)
+	}
+}
+
+// Go starts a new process running fn. The process begins executing at the
+// current virtual time (after already-scheduled events at this timestamp).
+// It is safe to call from engine context or process context.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:       e,
+		id:      e.seq, // unique, monotone: reuse the event sequence counter
+		name:    name,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != errProcKilled {
+					e.fail(fmt.Errorf("sim: proc %q panicked: %v\n%s", name, r, debug.Stack()))
+				}
+			}()
+			if !p.killed {
+				fn(p)
+			}
+		}()
+		p.dead = true
+		if p.done != nil {
+			p.done.fire()
+		}
+		p.yielded <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// ProcNames returns the names of all live processes, sorted; a debugging
+// aid for diagnosing deadlocks (live processes after Run returns are
+// blocked on conditions that can no longer occur).
+func (e *Engine) ProcNames() []string {
+	names := make([]string, 0, len(e.procs))
+	for p := range e.procs {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "errors"
+
+// errProcKilled unwinds a process goroutine when the engine is closed.
+var errProcKilled = errors.New("sim: proc killed")
+
+// Proc is a cooperative simulation process. Exactly one Proc executes at any
+// instant; all its blocking methods yield control back to the engine and
+// resume when the corresponding virtual-time condition holds.
+//
+// A Proc must only be used by the goroutine the engine created for it.
+type Proc struct {
+	e       *Engine
+	id      uint64
+	name    string
+	resume  chan struct{}
+	yielded chan struct{}
+	dead    bool
+	killed  bool
+	done    *Completion
+}
+
+// Name returns the process name given to Engine.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine that owns the process.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Done returns a Completion that fires when the process function returns.
+func (p *Proc) Done() *Completion {
+	if p.done == nil {
+		p.done = NewCompletion(p.e)
+		if p.dead {
+			p.done.fire()
+		}
+	}
+	return p.done
+}
+
+// park yields control to the engine without scheduling a wakeup. Something
+// else must eventually unpark the process (Completion.Fire, Queue.Put,
+// Resource.Release or Engine.Close).
+func (p *Proc) park() {
+	p.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errProcKilled)
+	}
+}
+
+// unpark schedules the process to resume at the current virtual time.
+func (p *Proc) unpark() {
+	p.e.Schedule(0, func() { p.e.dispatch(p) })
+}
+
+// Sleep blocks the process for d virtual time. Negative durations count as
+// zero (the process still yields, so co-scheduled events at the same
+// timestamp run in deterministic order).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.Schedule(d, func() { p.e.dispatch(p) })
+	p.park()
+}
+
+// SleepUntil blocks the process until virtual time t. If t is in the past
+// the process just yields once.
+func (p *Proc) SleepUntil(t Time) {
+	d := t - p.e.now
+	p.Sleep(d)
+}
+
+// Yield lets every other event and process scheduled at the current
+// timestamp run before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,91 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Virtual time is measured in integer picoseconds (type Time). All activity
+// is driven by a single Engine; user code runs inside cooperative processes
+// (Proc) that block on virtual-time primitives: Sleep, Resource, Queue and
+// Completion. The engine executes exactly one process at a time, so
+// simulations are fully deterministic: two runs of the same program produce
+// identical event orders and identical virtual timestamps.
+package sim
+
+import "fmt"
+
+// Time is a virtual-time instant or duration in picoseconds.
+//
+// Picosecond resolution is needed because the simulated links run at
+// 10 Gbit/s and beyond: one byte at 10 Gbit/s occupies 0.8 ns, so nanosecond
+// arithmetic would lose up to 20% on small frames. The int64 range still
+// covers about 106 days of simulated time.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos returns the time as a floating-point number of nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// Micros converts a floating-point number of microseconds to a Time.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Nanos converts a floating-point number of nanoseconds to a Time.
+func Nanos(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", t.Nanos())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// Rate is a data rate in bytes per second.
+type Rate float64
+
+// Common rates. Gbps follows network convention (decimal bits per second).
+const (
+	BytePerSecond Rate = 1
+	KBps               = 1e3 * BytePerSecond
+	MBps               = 1e6 * BytePerSecond
+	GBps               = 1e9 * BytePerSecond
+)
+
+// Gbps converts a decimal gigabit-per-second figure to a Rate.
+func Gbps(g float64) Rate { return Rate(g * 1e9 / 8) }
+
+// TxTime returns the serialization time of n bytes at rate r.
+func (r Rate) TxTime(n int) Time {
+	if r <= 0 || n <= 0 {
+		return 0
+	}
+	return Time(float64(n) / float64(r) * float64(Second))
+}
+
+// MBpsOf converts a byte count and elapsed time to a rate in MB/s.
+func MBpsOf(bytes int64, elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / 1e6
+}

@@ -1,0 +1,94 @@
+// Package sockets implements the stream-socket stacks the paper's Section 7
+// names as future work ("we intend to extend our study to include uDAPL,
+// sockets, and applications"), covering the three ways 2006-era systems ran
+// the sockets API over these fabrics:
+//
+//   - HostTCP: conventional kernel TCP/IP on a plain 10GigE NIC. Every
+//     packet costs host CPU (interrupt, protocol processing, checksum) and
+//     every byte is copied twice per side — the "Ethernet" half of the
+//     Ethernet-Ethernot gap the paper's introduction motivates.
+//   - TOE: the same sockets API with TCP offloaded to the NIC (the NE010's
+//     "IPv4 TOE and NIC acceleration"): per-packet work moves off the host,
+//     one copy per side remains (user <-> socket buffer).
+//   - SDP: Sockets Direct Protocol over the RDMA verbs providers (the
+//     NetEffect RNIC "can be accessed using ... SDP"): small sends ride a
+//     buffered (bcopy) channel, large sends switch to zero-copy rendezvous
+//     RDMA writes.
+//
+// All three expose the same blocking byte-stream API (Send/Recv), so the
+// comparison benchmark in internal/bench measures exactly the API the
+// paper's follow-up study would have.
+package sockets
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Endpoint is one side of a connected byte-stream socket.
+type Endpoint interface {
+	// Send writes [off, off+n) of buf to the stream, blocking until the
+	// bytes are accepted (copied out of the user buffer or, for zero-copy
+	// paths, transferred).
+	Send(pr *sim.Proc, buf *mem.Buffer, off, n int)
+	// Recv blocks until exactly n bytes are available and copies them into
+	// [off, off+n) of buf.
+	Recv(pr *sim.Proc, buf *mem.Buffer, off, n int)
+	// Name identifies the stack for reporting.
+	Name() string
+	// Mem returns the endpoint's host memory, for allocating test buffers.
+	Mem() *mem.Memory
+}
+
+// HostMem returns an endpoint's host memory.
+func HostMem(e Endpoint) *mem.Memory { return e.Mem() }
+
+// stream is the receive-side reassembly shared by the implementations: a
+// byte queue with blocked readers.
+type stream struct {
+	eng     *sim.Engine
+	buf     []byte
+	waiters []*waiter
+}
+
+type waiter struct {
+	need int
+	c    *sim.Completion
+}
+
+func newStream(eng *sim.Engine) *stream { return &stream{eng: eng} }
+
+// push appends bytes and wakes readers whose demand is now met.
+func (s *stream) push(b []byte) {
+	s.buf = append(s.buf, b...)
+	for len(s.waiters) > 0 && len(s.buf) >= s.waiters[0].need {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.c.Fire()
+	}
+}
+
+// await blocks p until n bytes are buffered.
+func (s *stream) await(p *sim.Proc, n int) {
+	if len(s.buf) >= n && len(s.waiters) == 0 {
+		return
+	}
+	w := &waiter{need: n, c: sim.NewCompletion(s.eng)}
+	s.waiters = append(s.waiters, w)
+	w.c.Wait(p)
+}
+
+// take removes n buffered bytes.
+func (s *stream) take(n int) []byte {
+	if len(s.buf) < n {
+		panic(fmt.Sprintf("sockets: take %d of %d buffered", n, len(s.buf)))
+	}
+	out := s.buf[:n]
+	s.buf = s.buf[n:]
+	return out
+}
+
+// Len returns the number of buffered bytes.
+func (s *stream) Len() int { return len(s.buf) }

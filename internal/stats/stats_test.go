@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if !approx(Mean(xs), 2.5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !approx(Median(xs), 2.5) {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if !approx(Percentile(xs, 0), 1) || !approx(Percentile(xs, 100), 4) {
+		t.Errorf("P0/P100 = %v/%v", Percentile(xs, 0), Percentile(xs, 100))
+	}
+	if !approx(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("StdDev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice statistics should be 0")
+	}
+	one := []float64{7}
+	if Mean(one) != 7 || Min(one) != 7 || Max(one) != 7 || Median(one) != 7 {
+		t.Error("single-element statistics wrong")
+	}
+	if StdDev(one) != 0 {
+		t.Error("StdDev of one sample should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		med := Median(xs)
+		// Median is bounded by min and max; percentiles are monotone.
+		if med < Min(xs)-1e-9 || med > Max(xs)+1e-9 {
+			return false
+		}
+		return Percentile(xs, 25) <= Percentile(xs, 75)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

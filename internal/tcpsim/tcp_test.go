@@ -1,0 +1,266 @@
+package tcpsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// pump connects two Conns through a delayed, optionally lossy channel. It
+// pulls segments whenever a side becomes sendable and delivers them after
+// a fixed latency, echoing ACKs the same way.
+type pump struct {
+	eng      *sim.Engine
+	a, b     *Conn
+	latency  sim.Time
+	dropData func(seg Segment) bool
+	gotA     []Record // records delivered at a
+	gotB     []Record // records delivered at b
+}
+
+func newPump(eng *sim.Engine, latency sim.Time) *pump {
+	p := &pump{eng: eng, latency: latency}
+	p.a = NewConn(eng, "a")
+	p.b = NewConn(eng, "b")
+	p.a.OnSendable = func() { p.drain(p.a, p.b, &p.gotB) }
+	p.b.OnSendable = func() { p.drain(p.b, p.a, &p.gotA) }
+	return p
+}
+
+func (p *pump) drain(from, to *Conn, sink *[]Record) {
+	for {
+		seg, ok := from.NextSegment()
+		if !ok {
+			return
+		}
+		if p.dropData != nil && p.dropData(seg) {
+			continue
+		}
+		p.eng.Schedule(p.latency, func() {
+			recs, ack, need := to.Input(seg)
+			*sink = append(*sink, recs...)
+			if need {
+				p.eng.Schedule(p.latency, func() {
+					from.Input(ack)
+					// The ACK may have opened the window.
+					p.drain(from, to, sink)
+				})
+			}
+		})
+	}
+}
+
+func (p *pump) run(t *testing.T) {
+	t.Helper()
+	if err := p.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRecordSmall(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 10*sim.Microsecond)
+	p.a.Send(100, "hello")
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != 1 || p.gotB[0].Meta != "hello" || p.gotB[0].Len != 100 {
+		t.Fatalf("got %v", p.gotB)
+	}
+	if p.a.SegmentsSent != 1 {
+		t.Errorf("segments sent = %d", p.a.SegmentsSent)
+	}
+	if p.a.InflightBytes() != 0 {
+		t.Errorf("inflight after ack = %d", p.a.InflightBytes())
+	}
+}
+
+func TestLargeRecordSegmented(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, sim.Microsecond)
+	const n = 100_000 // 100 KB > MSS, > window/2
+	p.a.Send(n, "big")
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != 1 || p.gotB[0].Len != n {
+		t.Fatalf("got %v", p.gotB)
+	}
+	wantSegs := int64((n + p.a.MSS - 1) / p.a.MSS)
+	if p.a.SegmentsSent != wantSegs {
+		t.Errorf("segments = %d, want %d", p.a.SegmentsSent, wantSegs)
+	}
+}
+
+func TestRecordBoundariesAcrossSegments(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, sim.Microsecond)
+	// Several records that straddle MSS boundaries.
+	sizes := []int{5000, 5000, 12000, 1, 8959, 2}
+	for i, n := range sizes {
+		p.a.Send(n, i)
+	}
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != len(sizes) {
+		t.Fatalf("delivered %d records, want %d", len(p.gotB), len(sizes))
+	}
+	for i, r := range p.gotB {
+		if r.Meta != i || r.Len != sizes[i] {
+			t.Errorf("record %d = {%v %d}, want {%d %d}", i, r.Meta, r.Len, i, sizes[i])
+		}
+	}
+}
+
+func TestWindowLimitsInflight(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewConn(eng, "w")
+	c.WindowBytes = 20000
+	c.Send(100_000, "x")
+	total := 0
+	for {
+		seg, ok := c.NextSegment()
+		if !ok {
+			break
+		}
+		total += seg.Len
+	}
+	if total != 20000 {
+		t.Errorf("sent %d bytes with 20000-byte window", total)
+	}
+	if c.Sendable() {
+		t.Error("sendable with closed window")
+	}
+	// An ACK for half opens the window again.
+	c.Input(Segment{Ack: 10000})
+	if !c.Sendable() {
+		t.Error("not sendable after window opened")
+	}
+}
+
+func TestRTORetransmit(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 10*sim.Microsecond)
+	drops := 0
+	p.dropData = func(seg Segment) bool {
+		if seg.Len > 0 && drops == 0 {
+			drops++
+			return true
+		}
+		return false
+	}
+	p.a.Send(100, "retry")
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != 1 || p.gotB[0].Meta != "retry" {
+		t.Fatalf("got %v", p.gotB)
+	}
+	if p.a.Retransmissions != 1 {
+		t.Errorf("retransmissions = %d, want 1", p.a.Retransmissions)
+	}
+	// Recovery must have taken at least one RTO.
+	if eng.Now() < p.a.RTO {
+		t.Errorf("recovered at %v, before RTO %v", eng.Now(), p.a.RTO)
+	}
+}
+
+func TestFastRetransmitOnDupAcks(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 10*sim.Microsecond)
+	dropped := false
+	p.dropData = func(seg Segment) bool {
+		// Drop only the first data segment of a multi-segment burst.
+		if seg.Len > 0 && seg.Seq == 0 && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	p.a.Send(50_000, "burst") // 6 segments: 5 dupacks follow the loss
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != 1 || p.gotB[0].Len != 50_000 {
+		t.Fatalf("got %v", p.gotB)
+	}
+	if p.a.Retransmissions == 0 {
+		t.Error("no retransmission recorded")
+	}
+	// Fast retransmit should beat the 1ms RTO by a wide margin.
+	if eng.Now() >= p.a.RTO {
+		t.Errorf("recovery at %v not faster than RTO", eng.Now())
+	}
+}
+
+func TestHeavyLossEventuallyDelivers(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 5*sim.Microsecond)
+	rng := sim.NewRNG(42)
+	p.dropData = func(seg Segment) bool {
+		return seg.Len > 0 && rng.Float64() < 0.2
+	}
+	var sizes []int
+	total := 0
+	for i := 0; i < 20; i++ {
+		n := 1 + rng.Intn(30000)
+		sizes = append(sizes, n)
+		total += n
+		p.a.Send(n, i)
+	}
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != len(sizes) {
+		t.Fatalf("delivered %d records, want %d", len(p.gotB), len(sizes))
+	}
+	for i, r := range p.gotB {
+		if r.Meta != i || r.Len != sizes[i] {
+			t.Fatalf("record %d = {%v %d}, want {%d %d}", i, r.Meta, r.Len, i, sizes[i])
+		}
+	}
+	if p.b.BytesDelivered != int64(total) {
+		t.Errorf("bytes delivered = %d, want %d", p.b.BytesDelivered, total)
+	}
+	if p.a.Retransmissions == 0 {
+		t.Error("loss injected but no retransmissions")
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 5*sim.Microsecond)
+	for i := 0; i < 10; i++ {
+		p.a.Send(1000+i, fmt.Sprintf("a%d", i))
+		p.b.Send(2000+i, fmt.Sprintf("b%d", i))
+	}
+	p.drain(p.a, p.b, &p.gotB)
+	p.drain(p.b, p.a, &p.gotA)
+	p.run(t)
+	if len(p.gotB) != 10 || len(p.gotA) != 10 {
+		t.Fatalf("delivered %d/%d", len(p.gotB), len(p.gotA))
+	}
+	if p.gotA[3].Meta != "b3" || p.gotB[7].Meta != "a7" {
+		t.Error("wrong record contents")
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewConn(eng, "x")
+	c.Send(100, nil)
+	seg, ok := c.NextSegment()
+	if !ok {
+		t.Fatal("no segment")
+	}
+	if c.WireBytes(seg) != 140 {
+		t.Errorf("wire bytes = %d, want 140", c.WireBytes(seg))
+	}
+}
+
+func TestZeroLenSendPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewConn(eng, "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("Send(0) did not panic")
+		}
+	}()
+	c.Send(0, nil)
+}

@@ -1,0 +1,167 @@
+package udapl
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestSendRecvDTO(t *testing.T) {
+	for _, kind := range cluster.VerbsKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			tb := cluster.New(kind, 2)
+			defer tb.Close()
+			epA, epB := ConnectPair(tb, 0, 1)
+			const n = 8192
+			src := tb.Hosts[0].Mem.Alloc(n)
+			dst := tb.Hosts[1].Mem.Alloc(n)
+			src.Fill(4)
+			tb.Eng.Go("b", func(p *sim.Proc) {
+				lmr := epB.ia.RegisterLMR(p, dst, 0, n)
+				epB.PostRecv(p, 21, lmr, 0, n)
+				ev := epB.EVD().Wait(p)
+				if ev.Type != DTORecvCompletion || ev.Cookie != 21 || ev.Len != n {
+					t.Errorf("recv event = %+v", ev)
+				}
+			})
+			tb.Eng.Go("a", func(p *sim.Proc) {
+				p.Sleep(sim.Microsecond)
+				lmr := epA.ia.RegisterLMR(p, src, 0, n)
+				epA.PostSend(p, 20, lmr, 0, n)
+				ev := epA.EVD().Wait(p)
+				if ev.Type != DTOSendCompletion || ev.Cookie != 20 {
+					t.Errorf("send event = %+v", ev)
+				}
+			})
+			if err := tb.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !dst.Equal(4, 0, n) {
+				t.Error("DTO data corrupt")
+			}
+		})
+	}
+}
+
+func TestRDMAWriteDTO(t *testing.T) {
+	tb := cluster.New(cluster.IWARP, 2)
+	defer tb.Close()
+	epA, epB := ConnectPair(tb, 0, 1)
+	const n = 64 << 10
+	src := tb.Hosts[0].Mem.Alloc(n)
+	dst := tb.Hosts[1].Mem.Alloc(n)
+	src.Fill(8)
+	tb.Eng.Go("x", func(p *sim.Proc) {
+		lmrA := epA.ia.RegisterLMR(p, src, 0, n)
+		lmrB := epB.ia.RegisterLMR(p, dst, 0, n)
+		epA.PostRDMAWrite(p, 5, lmrA, 0, n, lmrB.Context(), 0)
+		got := 0
+		for got < n {
+			pl := epB.Placements().Get(p)
+			got += pl.Len
+		}
+		ev := epA.EVD().Wait(p)
+		if ev.Type != DTOWriteCompletion || ev.Cookie != 5 {
+			t.Errorf("write event = %+v", ev)
+		}
+	})
+	if err := tb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(8, 0, n) {
+		t.Error("RDMA write DTO corrupt")
+	}
+}
+
+func TestRDMAReadDTO(t *testing.T) {
+	tb := cluster.New(cluster.IB, 2)
+	defer tb.Close()
+	epA, epB := ConnectPair(tb, 0, 1)
+	const n = 16 << 10
+	remote := tb.Hosts[1].Mem.Alloc(n)
+	local := tb.Hosts[0].Mem.Alloc(n)
+	remote.Fill(6)
+	tb.Eng.Go("x", func(p *sim.Proc) {
+		lmrA := epA.ia.RegisterLMR(p, local, 0, n)
+		lmrB := epB.ia.RegisterLMR(p, remote, 0, n)
+		epA.PostRDMARead(p, 9, lmrA, 0, n, lmrB.Context(), 0)
+		ev := epA.EVD().Wait(p)
+		if ev.Type != DTOReadCompletion || ev.Cookie != 9 || ev.Len != n {
+			t.Errorf("read event = %+v", ev)
+		}
+	})
+	if err := tb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !local.Equal(6, 0, n) {
+		t.Error("RDMA read DTO corrupt")
+	}
+}
+
+func TestUDAPLTracksVerbsLatency(t *testing.T) {
+	// The thin veneer must not add measurable latency: a uDAPL RDMA-write
+	// ping-pong should land within ~1us of the raw verbs number (9.74us for
+	// the NE010 model).
+	tb := cluster.New(cluster.IWARP, 2)
+	defer tb.Close()
+	epA, epB := ConnectPair(tb, 0, 1)
+	const size = 64
+	src := tb.Hosts[0].Mem.Alloc(size)
+	dst := tb.Hosts[1].Mem.Alloc(size)
+	echoSrc := tb.Hosts[1].Mem.Alloc(size)
+	echoDst := tb.Hosts[0].Mem.Alloc(size)
+	src.Fill(1)
+	echoSrc.Fill(2)
+	const iters = 20
+	var rtt sim.Time
+	tb.Eng.Go("a", func(p *sim.Proc) {
+		lmrS := epA.ia.RegisterLMR(p, src, 0, size)
+		lmrD := epA.ia.RegisterLMR(p, echoDst, 0, size)
+		lmrBD := epB.ia.RegisterLMR(p, dst, 0, size)
+		lmrBS := epB.ia.RegisterLMR(p, echoSrc, 0, size)
+		// Echo process on side B.
+		tb.Eng.Go("b", func(pb *sim.Proc) {
+			var id uint64
+			for i := 0; i < 2+iters; i++ {
+				got := 0
+				for got < size {
+					pl := epB.Placements().Get(pb)
+					got += pl.Len
+				}
+				id++
+				epB.PostRDMAWrite(pb, id, lmrBS, 0, size, lmrD.Context(), 0)
+			}
+		})
+		var id uint64
+		for i := 0; i < 2+iters; i++ {
+			if i == 2 {
+				rtt = -p.Now()
+			}
+			id++
+			epA.PostRDMAWrite(p, id, lmrS, 0, size, lmrBD.Context(), 0)
+			got := 0
+			for got < size {
+				pl := epA.Placements().Get(p)
+				got += pl.Len
+			}
+		}
+		rtt += p.Now()
+	})
+	if err := tb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oneWay := rtt / sim.Time(2*iters)
+	if oneWay < sim.Micros(9) || oneWay > sim.Micros(11) {
+		t.Errorf("uDAPL one-way latency = %v, want ~9.7-10.5us (verbs + nothing)", oneWay)
+	}
+}
+
+func TestOpenIAOnMXHostReturnsNil(t *testing.T) {
+	tb := cluster.New(cluster.MXoM, 2)
+	defer tb.Close()
+	if OpenIA(tb.Hosts[0]) != nil {
+		t.Error("OpenIA on an MX host should return nil")
+	}
+}

@@ -1,0 +1,64 @@
+package verbs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpSend:  "SEND",
+		OpRecv:  "RECV",
+		OpWrite: "RDMA_WRITE",
+		OpRead:  "RDMA_READ",
+		Op(42):  "UNKNOWN",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestCQPollBlocksAndCharges(t *testing.T) {
+	eng := sim.NewEngine()
+	cq := NewCQ(eng, "cq", 100*sim.Nanosecond)
+	var got Completion
+	var at sim.Time
+	eng.Go("poller", func(p *sim.Proc) {
+		got = cq.Poll(p)
+		at = p.Now()
+	})
+	eng.Schedule(sim.Microsecond, func() {
+		cq.Push(Completion{WRID: 7, Op: OpSend, Len: 32, At: eng.Now()})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.WRID != 7 || got.Op != OpSend {
+		t.Errorf("completion = %+v", got)
+	}
+	// Woke at 1us + 100ns poll-detect.
+	if at != sim.Microsecond+100*sim.Nanosecond {
+		t.Errorf("poll returned at %v", at)
+	}
+}
+
+func TestCQTryPoll(t *testing.T) {
+	eng := sim.NewEngine()
+	cq := NewCQ(eng, "cq", 0)
+	if _, ok := cq.TryPoll(); ok {
+		t.Error("TryPoll on empty CQ succeeded")
+	}
+	cq.Push(Completion{WRID: 1})
+	cq.Push(Completion{WRID: 2})
+	if cq.Len() != 2 {
+		t.Errorf("len = %d", cq.Len())
+	}
+	c1, ok1 := cq.TryPoll()
+	c2, ok2 := cq.TryPoll()
+	if !ok1 || !ok2 || c1.WRID != 1 || c2.WRID != 2 {
+		t.Error("TryPoll order wrong")
+	}
+}
