@@ -1,0 +1,38 @@
+# Tier-1 verification for the repo (see ROADMAP.md). `make verify` is what
+# CI and pre-merge checks should run.
+
+GO ?= go
+
+.PHONY: all build test vet race traceguard verify figures calibrate clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The simulation engine and the metrics registry are single-threaded by
+# design; the race detector proves the tests don't violate that.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/metrics/...
+
+# Guard the zero-cost-when-disabled contract of the tracer: recording
+# against a nil tracer must not allocate (see internal/trace).
+traceguard:
+	$(GO) test -run TestTraceOverhead ./internal/trace/...
+
+verify: build test vet race traceguard
+
+figures:
+	$(GO) run ./cmd/figures
+
+calibrate:
+	$(GO) run ./cmd/calibrate
+
+clean:
+	$(GO) clean ./...

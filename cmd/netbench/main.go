@@ -32,12 +32,27 @@ func main() {
 	depth := flag.Int("depth", 256, "queue depth for -test queue")
 	queue := flag.String("queue", "unexpected", "queue flavour: unexpected | recv")
 	iters := flag.Int("iters", 20, "iterations")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or ui.perfetto.dev)")
+	traceJSONL := flag.String("tracejsonl", "", "write the trace as JSON lines with raw picosecond timestamps")
+	traceCap := flag.Int("tracecap", 0, "trace buffer capacity in events (0 = default)")
+	metricsFlag := flag.Bool("metrics", false, "dump the metrics registry as JSON to stdout after the test")
 	flag.Parse()
 
 	kind, ok := parseKind(*netName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
 		os.Exit(2)
+	}
+
+	var lastTB *cluster.Testbed
+	if *traceFile != "" || *traceJSONL != "" || *metricsFlag {
+		cluster.OnNew = func(tb *cluster.Testbed) {
+			lastTB = tb
+			if *traceFile != "" || *traceJSONL != "" {
+				tb.Eng.StartTrace(*traceCap)
+			}
+		}
+		defer dumpObservability(&lastTB, *traceFile, *traceJSONL, *metricsFlag)
 	}
 
 	switch *test {
@@ -123,6 +138,44 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown test %q\n", *test)
 		os.Exit(2)
+	}
+}
+
+// dumpObservability writes the requested trace and metrics artifacts from
+// the last testbed the run built.
+func dumpObservability(tbp **cluster.Testbed, traceFile, traceJSONL string, metrics bool) {
+	tb := *tbp
+	if tb == nil {
+		fmt.Fprintln(os.Stderr, "netbench: no testbed was built; nothing to dump")
+		return
+	}
+	tr := tb.Eng.Trc()
+	if traceFile != "" {
+		if err := tr.WriteChromeFile(traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events to %s (%d dropped)\n", tr.Len(), traceFile, tr.Dropped())
+	}
+	if traceJSONL != "" {
+		f, err := os.Create(traceJSONL)
+		if err == nil {
+			err = tr.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: writing trace jsonl: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if metrics {
+		tb.Fabric.PublishLinkMetrics()
+		if err := tb.Eng.Metrics().WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

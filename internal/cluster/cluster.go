@@ -169,6 +169,13 @@ type Options struct {
 	MX    *mx.Config
 }
 
+// OnNew, when non-nil, is invoked with every freshly-built Testbed before it
+// is returned. Benchmark drivers construct testbeds deep inside their run
+// functions; the hook lets a harness (cmd/netbench's -trace/-metrics flags)
+// attach a tracer or capture the metrics registry without threading options
+// through every benchmark signature.
+var OnNew func(*Testbed)
+
 // NewWithOptions is New with per-NIC configuration overrides.
 func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
 	if nodes < 2 {
@@ -201,6 +208,9 @@ func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
 			h.MX = mx.NewEndpoint(eng, name+"/myri10g", h.Mem, tb.Fabric, cfg)
 		}
 		tb.Hosts = append(tb.Hosts, h)
+	}
+	if OnNew != nil {
+		OnNew(tb)
 	}
 	return tb
 }

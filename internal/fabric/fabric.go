@@ -13,7 +13,9 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // NodeID identifies a port on the network.
@@ -73,11 +75,13 @@ func (l *line) reserve(earliest sim.Time, dur sim.Time, bytes int) (start, end s
 // Port is one attachment point: a full-duplex link between an endpoint and
 // the switch.
 type Port struct {
-	net *Network
-	id  NodeID
-	ep  Endpoint
-	up  line // endpoint -> switch
-	dn  line // switch -> endpoint
+	net     *Network
+	id      NodeID
+	ep      Endpoint
+	up      line // endpoint -> switch
+	dn      line // switch -> endpoint
+	upTrack string
+	dnTrack string
 }
 
 // ID returns the port's node ID.
@@ -96,6 +100,9 @@ type Network struct {
 
 	delivered int64
 	dropped   int64
+
+	cFrames, cWireBytes, cDelivered, cDropped *metrics.Counter
+	hSrcQueue, hEgQueue                       *metrics.Histogram
 }
 
 // New creates a network with the given configuration.
@@ -106,7 +113,17 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.HeaderBytes <= 0 {
 		cfg.HeaderBytes = 64
 	}
-	return &Network{eng: eng, cfg: cfg}
+	n := &Network{eng: eng, cfg: cfg}
+	reg := eng.Metrics()
+	n.cFrames = reg.Counter("fabric.frames_sent")
+	n.cWireBytes = reg.Counter("fabric.wire_bytes")
+	n.cDelivered = reg.Counter("fabric.frames_delivered")
+	n.cDropped = reg.Counter("fabric.frames_dropped")
+	// Queueing delay distributions in picoseconds: 1 ns .. ~1 ms.
+	qb := metrics.ExpBuckets(1e3, 4, 15)
+	n.hSrcQueue = reg.Histogram("fabric.src_queue_delay_ps", qb)
+	n.hEgQueue = reg.Histogram("fabric.egress_queue_delay_ps", qb)
+	return n
 }
 
 // Engine returns the simulation engine.
@@ -117,7 +134,14 @@ func (n *Network) Config() Config { return n.cfg }
 
 // Attach connects an endpoint and returns its port.
 func (n *Network) Attach(ep Endpoint) *Port {
-	p := &Port{net: n, id: NodeID(len(n.ports)), ep: ep}
+	id := NodeID(len(n.ports))
+	p := &Port{
+		net:     n,
+		id:      id,
+		ep:      ep,
+		upTrack: fmt.Sprintf("link.%s.up.%d", n.cfg.Name, id),
+		dnTrack: fmt.Sprintf("link.%s.dn.%d", n.cfg.Name, id),
+	}
 	n.ports = append(n.ports, p)
 	return p
 }
@@ -154,8 +178,19 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	dur := n.cfg.LinkRate.TxTime(wire)
 	txStart, txEnd := p.up.reserve(now, dur, wire)
 
+	n.cFrames.Inc()
+	n.cWireBytes.Add(int64(wire))
+	n.hSrcQueue.Observe(float64(txStart - now))
+	tr := n.eng.Trc()
+	if tr.Enabled() {
+		tr.Complete(p.upTrack, "tx", int64(txStart), int64(txEnd),
+			trace.I64("bytes", int64(f.Bytes)), trace.I64("wire", int64(wire)),
+			trace.I64("dst", int64(f.Dst)))
+	}
+
 	if n.DropFn != nil && n.DropFn(f) {
 		n.dropped++
+		n.cDropped.Inc()
 		return txEnd
 	}
 
@@ -172,13 +207,39 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	// Cut-through egress cannot finish before the tail of the frame has
 	// arrived at the switch; serializing the full frame from `ready` already
 	// guarantees that because ingress and egress rates are equal.
-	_, egEnd := dst.dn.reserve(ready, dur, wire)
+	egStart, egEnd := dst.dn.reserve(ready, dur, wire)
+	n.hEgQueue.Observe(float64(egStart - ready))
+	if tr.Enabled() {
+		tr.Complete(dst.dnTrack, "tx", int64(egStart), int64(egEnd),
+			trace.I64("bytes", int64(f.Bytes)), trace.I64("src", int64(f.Src)))
+	}
 	deliverAt := egEnd + n.cfg.PropDelay
 	n.eng.ScheduleAt(deliverAt, func() {
 		n.delivered++
+		n.cDelivered.Inc()
 		dst.ep.Deliver(f)
 	})
 	return txEnd
+}
+
+// PublishLinkMetrics freezes per-port link occupancy into gauges:
+// fabric.port<N>.{up,dn}_bytes and fabric.port<N>.{up,dn}_util_bp, the
+// latter in basis points of the elapsed virtual time. Call it once when a
+// run finishes; calling again overwrites the gauges with fresher values.
+func (n *Network) PublishLinkMetrics() {
+	reg := n.eng.Metrics()
+	elapsed := n.eng.Now()
+	for _, p := range n.ports {
+		upUtil, dnUtil := int64(0), int64(0)
+		if elapsed > 0 {
+			upUtil = int64(p.up.busy) * 10000 / int64(elapsed)
+			dnUtil = int64(p.dn.busy) * 10000 / int64(elapsed)
+		}
+		reg.Gauge(fmt.Sprintf("fabric.port%d.up_bytes", p.id)).Set(p.up.bytes)
+		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_bytes", p.id)).Set(p.dn.bytes)
+		reg.Gauge(fmt.Sprintf("fabric.port%d.up_util_bp", p.id)).Set(upUtil)
+		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_util_bp", p.id)).Set(dnUtil)
+	}
 }
 
 // UpLinkStats returns frames and bytes sent from the endpoint into the

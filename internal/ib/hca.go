@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
 )
@@ -100,6 +101,10 @@ type HCA struct {
 	chainEnd sim.Time // host-DMA read pipeline chain
 
 	qps []*QP
+
+	cPktsTx, cPktsRx, cAcksRx *metrics.Counter
+	cCtxHits, cCtxMisses      *metrics.Counter
+	cReadReqs                 *metrics.Counter
 }
 
 // New creates an HCA attached to hostMem and the IB fabric.
@@ -116,7 +121,26 @@ func New(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.Network,
 		ctx:      newCtxCache(cfg.CtxCacheSize),
 	}
 	h.port = net.Attach(h)
+	mreg := eng.Metrics()
+	h.cPktsTx = mreg.Counter("ib.pkts_tx")
+	h.cPktsRx = mreg.Counter("ib.pkts_rx")
+	h.cAcksRx = mreg.Counter("ib.acks_rx")
+	h.cCtxHits = mreg.Counter("ib.ctx_hits")
+	h.cCtxMisses = mreg.Counter("ib.ctx_misses")
+	h.cReadReqs = mreg.Counter("ib.read_requests")
 	return h
+}
+
+// touchCtx loads the context for qpn, counting hit/miss, and reports whether
+// it was a miss (the engine then pays CtxMissTime).
+func (h *HCA) touchCtx(qpn int) bool {
+	miss := h.ctx.touch(qpn)
+	if miss {
+		h.cCtxMisses.Inc()
+	} else {
+		h.cCtxHits.Inc()
+	}
+	return miss
 }
 
 // Name implements verbs.NIC.

@@ -237,7 +237,7 @@ func (q *QP) engineSend(wp *sim.Proc, firstOfMsg bool, pk *packet) {
 	h := q.hca
 	h.txEngine.Acquire(wp, 1)
 	hold := h.cfg.TxPktTime
-	if firstOfMsg && h.ctx.touch(q.qpn) {
+	if firstOfMsg && h.touchCtx(q.qpn) {
 		hold += h.cfg.CtxMissTime
 	}
 	wp.Sleep(hold)
@@ -262,6 +262,7 @@ func (h *HCA) dmaRead(now sim.Time, bytes int) sim.Time {
 
 // emit puts a packet on the wire.
 func (q *QP) emit(pk *packet) {
+	q.hca.cPktsTx.Inc()
 	q.hca.port.Send(&fabric.Frame{
 		Src:     q.hca.port.ID(),
 		Dst:     q.peer.hca.port.ID(),
@@ -278,6 +279,7 @@ func (q *QP) rxLoop(p *sim.Proc) {
 		pk := q.rxQ.Get(p)
 		switch pk.kind {
 		case pktAck:
+			h.cAcksRx.Inc()
 			h.rxEngine.Use(p, h.cfg.AckTime)
 			m := pk.ackFor
 			if m.wr.Op == verbs.OpWrite || m.wr.Op == verbs.OpSend {
@@ -286,6 +288,7 @@ func (q *QP) rxLoop(p *sim.Proc) {
 				orig.scq.Push(verbs.Completion{WRID: m.wr.ID, Op: m.wr.Op, Len: m.wr.Len, At: h.eng.Now()})
 			}
 		case pktReadReq:
+			h.cReadReqs.Inc()
 			h.rxEngine.Use(p, h.cfg.RxPktTime)
 			rd := pk.rd
 			region, ok := h.reg.Lookup(rd.srcKey)
@@ -296,6 +299,7 @@ func (q *QP) rxLoop(p *sim.Proc) {
 				q.stream(rp, verbs.OpWrite, region, rd.srcOff, rd.n, rd.sinkKey, rd.sinkOff, nil, rd.msg, true)
 			})
 		case pktData:
+			h.cPktsRx.Inc()
 			q.handleData(p, pk)
 		}
 	}
@@ -306,7 +310,7 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 	h := q.hca
 	h.rxEngine.Acquire(p, 1)
 	hold := h.cfg.RxPktTime
-	if pk.first && h.ctx.touch(q.qpn) {
+	if pk.first && h.touchCtx(q.qpn) {
 		hold += h.cfg.CtxMissTime
 	}
 	p.Sleep(hold)

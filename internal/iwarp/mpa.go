@@ -63,6 +63,21 @@ func (f Framing) FPDUBytes(header, payload int) int {
 	return n
 }
 
+// FramingOverhead returns the non-payload MPA bytes of one FPDU (length
+// prefix, CRC and markers) and, separately, the marker share alone.
+func (f Framing) FramingOverhead(header, payload int) (total, markers int) {
+	fpdu := f.FPDUBytes(header, payload)
+	total = fpdu - header - payload
+	if f.Markers {
+		base := ULPDULenBytes + header + payload
+		if f.CRC {
+			base += CRCBytes
+		}
+		markers = fpdu - base
+	}
+	return total, markers
+}
+
 // MaxPayload returns the largest ULP payload whose FPDU fits in mss TCP
 // bytes (the MULPDU of RFC 5044).
 func (f Framing) MaxPayload(header, mss int) int {

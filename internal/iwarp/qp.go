@@ -268,6 +268,10 @@ func (q *QP) emitSegments(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n
 		seg.payload = snapshot[off : off+take]
 		r.txEngine.Release(1)
 		fpdu := r.cfg.Framing.FPDUBytes(hdr, take)
+		r.cSegsTx.Inc()
+		framing, markers := r.cfg.Framing.FramingOverhead(hdr, take)
+		r.cFramingBytes.Add(int64(framing))
+		r.cMarkerBytes.Add(int64(markers))
 		// The remaining pipeline stages add latency without occupying an
 		// engine slot; scheduling preserves per-connection segment order.
 		r.eng.Schedule(r.cfg.TxPipeDelay, func() {
@@ -297,6 +301,11 @@ func (q *QP) sendReadRequest(wp *sim.Proc, wr verbs.WR) {
 	r.txSched.Use(wp, r.cfg.SchedTime)
 	r.txEngine.Acquire(wp, 1)
 	wp.Sleep(r.cfg.TxSegTime)
+	r.cSegsTx.Inc()
+	r.cReadReqs.Inc()
+	framing, markers := r.cfg.Framing.FramingOverhead(UntaggedHeader, ReadRequestBytes)
+	r.cFramingBytes.Add(int64(framing))
+	r.cMarkerBytes.Add(int64(markers))
 	q.conn.Send(r.cfg.Framing.FPDUBytes(UntaggedHeader, ReadRequestBytes), seg)
 	r.txEngine.Release(1)
 	q.drainTx()
@@ -349,10 +358,12 @@ func (q *QP) rxLoop(p *sim.Proc) {
 		tseg := q.rxQ.Get(p)
 		if tseg.Len == 0 {
 			// Pure ACK: cheap engine pass, may open the TX window.
+			r.cAcksRx.Inc()
 			r.rxEngine.Use(p, r.cfg.RxAckTime)
 			q.conn.Input(tseg)
 			continue
 		}
+		r.cSegsRx.Inc()
 		r.rxSched.Use(p, r.cfg.SchedTime)
 		r.rxEngine.Acquire(p, 1)
 		p.Sleep(r.cfg.RxSegTime)
@@ -436,6 +447,7 @@ func (q *QP) handleSeg(seg *ddpSeg) {
 			q.cur.total = q.cur.got
 			if q.curWR == nil {
 				q.early = append(q.early, q.cur)
+				r.cEarlyArrivals.Inc()
 			}
 			q.cur = nil
 			q.curWR = nil

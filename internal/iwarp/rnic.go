@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -109,6 +110,10 @@ type RNIC struct {
 	maxTagged   int
 	maxUntagged int
 	txChainEnd  sim.Time // host-DMA read pipeline chain (see hostToEngine)
+
+	cSegsTx, cSegsRx, cAcksRx   *metrics.Counter
+	cReadReqs, cEarlyArrivals   *metrics.Counter
+	cFramingBytes, cMarkerBytes *metrics.Counter
 }
 
 // wireSeg is the fabric frame payload: a TCP segment addressed to a QP.
@@ -135,6 +140,14 @@ func New(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.Network,
 	r.maxTagged = cfg.Framing.MaxPayload(TaggedHeader, cfg.MSS)
 	r.maxUntagged = cfg.Framing.MaxPayload(UntaggedHeader, cfg.MSS)
 	r.port = net.Attach(r)
+	mreg := eng.Metrics()
+	r.cSegsTx = mreg.Counter("iwarp.segs_tx")
+	r.cSegsRx = mreg.Counter("iwarp.segs_rx")
+	r.cAcksRx = mreg.Counter("iwarp.acks_rx")
+	r.cReadReqs = mreg.Counter("iwarp.read_requests")
+	r.cEarlyArrivals = mreg.Counter("iwarp.early_arrivals")
+	r.cFramingBytes = mreg.Counter("iwarp.mpa_framing_bytes")
+	r.cMarkerBytes = mreg.Counter("iwarp.mpa_marker_bytes")
 	return r
 }
 

@@ -3,7 +3,9 @@ package mem
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // RegCost prices a memory registration: a fixed setup cost (system call,
@@ -63,11 +65,24 @@ type RegTable struct {
 	registrations   int64
 	deregistrations int64
 	pinnedBytes     int64
+
+	// Aggregate instruments shared by every table on the same engine, so
+	// the metrics dump shows one registration story per run (per-table
+	// splits remain available through Stats).
+	cRegs, cDeregs, cPages *metrics.Counter
+	gPinned               *metrics.Gauge
 }
 
 // NewRegTable creates a registration table with the given cost model.
 func NewRegTable(eng *sim.Engine, name string, cost RegCost) *RegTable {
-	return &RegTable{eng: eng, name: name, Cost: cost, nextKey: 1, regions: make(map[RKey]*Region)}
+	reg := eng.Metrics()
+	return &RegTable{
+		eng: eng, name: name, Cost: cost, nextKey: 1, regions: make(map[RKey]*Region),
+		cRegs:   reg.Counter("mem.registrations"),
+		cDeregs: reg.Counter("mem.deregistrations"),
+		cPages:  reg.Counter("mem.pages_pinned"),
+		gPinned: reg.Gauge("mem.pinned_bytes"),
+	}
 }
 
 // Register pins [off, off+n) of buf, charging the registration cost to p.
@@ -75,7 +90,11 @@ func (t *RegTable) Register(p *sim.Proc, buf *Buffer, off, n int) *Region {
 	if off < 0 || n <= 0 || off+n > buf.Len() {
 		panic(fmt.Sprintf("mem %s: register [%d,%d) of %d-byte buffer", t.name, off, off+n, buf.Len()))
 	}
-	p.Sleep(t.Cost.Of(buf.Pages(off, n)))
+	pages := buf.Pages(off, n)
+	sp := t.eng.Trc().Begin(t.name, "mem.register", trace.I64("bytes", int64(n)), trace.I64("pages", int64(pages)))
+	p.Sleep(t.Cost.Of(pages))
+	sp.End()
+	t.cPages.Add(int64(pages))
 	return t.register(buf, off, n)
 }
 
@@ -92,6 +111,8 @@ func (t *RegTable) register(buf *Buffer, off, n int) *Region {
 	t.regions[r.Key] = r
 	t.registrations++
 	t.pinnedBytes += int64(n)
+	t.cRegs.Inc()
+	t.gPinned.Add(int64(n))
 	return r
 }
 
@@ -110,6 +131,8 @@ func (t *RegTable) DeregisterFree(r *Region) {
 	delete(t.regions, r.Key)
 	t.deregistrations++
 	t.pinnedBytes -= int64(r.Len)
+	t.cDeregs.Inc()
+	t.gPinned.Add(-int64(r.Len))
 }
 
 // Lookup resolves a key, as a remote NIC does when an RDMA operation
@@ -143,6 +166,8 @@ type RegCache struct {
 	lru     []cacheKey
 	hits    int64
 	misses  int64
+
+	cHits, cMisses *metrics.Counter
 }
 
 type cacheKey struct {
@@ -157,11 +182,14 @@ type cacheEntry struct {
 
 // NewRegCache returns an enabled cache over t.
 func NewRegCache(t *RegTable, maxEntries int) *RegCache {
+	reg := t.eng.Metrics()
 	return &RegCache{
 		Table:      t,
 		MaxEntries: maxEntries,
 		Enabled:    true,
 		entries:    make(map[cacheKey]*cacheEntry),
+		cHits:      reg.Counter("mem.regcache_hits"),
+		cMisses:    reg.Counter("mem.regcache_misses"),
 	}
 }
 
@@ -173,16 +201,19 @@ func NewRegCache(t *RegTable, maxEntries int) *RegCache {
 func (c *RegCache) Get(p *sim.Proc, buf *Buffer, off, n int) *Region {
 	if !c.Enabled {
 		c.misses++
+		c.cMisses.Inc()
 		return c.Table.Register(p, buf, off, n)
 	}
 	k := cacheKey{buf.Addr() + uint64(off), n}
 	if e, ok := c.entries[k]; ok {
 		c.hits++
+		c.cHits.Inc()
 		c.promote(k)
 		e.inUse++
 		return e.region
 	}
 	c.misses++
+	c.cMisses.Inc()
 	r := c.Table.Register(p, buf, off, n)
 	if e, ok := c.entries[k]; ok {
 		// Someone else registered this window while we slept in Register.

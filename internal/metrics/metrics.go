@@ -1,0 +1,283 @@
+// Package metrics is a lightweight registry of counters, gauges and
+// fixed-bucket histograms for the simulator. It exists so that every
+// mechanism the paper's figures rest on — eager/rendezvous switches,
+// registration-cache misses, matching-queue traversals, link occupancy —
+// can be counted where it happens and read back as one deterministic
+// snapshot.
+//
+// The registry is single-threaded like the simulation itself: instruments
+// are plain integers with no atomics, so always-on counting costs a few
+// nanoseconds of host time and zero virtual time (simulated results are
+// unaffected by whether anyone reads the metrics). All instrument methods
+// are nil-receiver safe, so optional instruments need no guards.
+//
+// Snapshots are deterministic: two identical simulation runs marshal to
+// byte-identical JSON (encoding/json orders map keys), which the
+// determinism regression tests rely on.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically-increasing count.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (n may not be negative).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: counter add %d", n))
+	}
+	c.v += n
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous value that also remembers its high-water mark
+// (queue depths, pinned bytes).
+type Gauge struct {
+	v, max int64
+	set    bool
+}
+
+// Set replaces the value, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+}
+
+// Add adjusts the value by d (d may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark (the largest value ever Set).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are ascending bucket
+// upper limits; one implicit overflow bucket catches everything above the
+// last bound. Scalar statistics ride a stats.Summary so an empty histogram
+// is distinguishable from one full of zeros.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	sum    stats.Summary
+}
+
+// Observe folds one sample into the histogram.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x
+	h.counts[i]++
+	h.sum.Add(x)
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Count
+}
+
+// Summary returns the scalar statistics of the observed samples.
+func (h *Histogram) Summary() stats.Summary {
+	if h == nil {
+		return stats.Summary{}
+	}
+	return h.sum
+}
+
+// ExpBuckets returns n ascending bounds starting at start, each factor times
+// the previous: the usual shape for latency distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("metrics: bad bucket spec (%g, %g, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	x := start
+	for i := range out {
+		out[i] = x
+		x *= factor
+	}
+	return out
+}
+
+// Registry holds one simulation's instruments, keyed by name. Get-or-create
+// lookups are meant for construction time; hot paths should cache the
+// returned instrument.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. Bounds must be ascending; re-requesting an existing
+// histogram ignores the bounds argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+			}
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeSnapshot is one gauge's frozen state.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramSnapshot is one histogram's frozen state. Counts has one more
+// entry than Bounds (the overflow bucket).
+type HistogramSnapshot struct {
+	Bounds  []float64     `json:"bounds"`
+	Counts  []int64       `json:"counts"`
+	Summary stats.Summary `json:"summary"`
+}
+
+// Snapshot is a frozen, fully-owned copy of a registry: mutating the
+// registry afterwards does not change it.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.v, Max: g.max}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Bounds:  append([]float64(nil), h.bounds...),
+			Counts:  append([]int64(nil), h.counts...),
+			Summary: h.sum,
+		}
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot deterministically (map keys sorted by
+// encoding/json).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // drop the method to avoid recursion
+	return json.Marshal(alias(s))
+}
+
+// WriteJSON writes an indented, deterministic JSON dump of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c"); again != c {
+		t.Fatalf("re-lookup returned a different counter")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+	if got := g.Max(); got != 7 {
+		t.Fatalf("max = %d, want 7", got)
+	}
+
+	// A gauge that only ever holds negative values must report that value as
+	// its high-water mark, not zero.
+	n := r.Gauge("neg")
+	n.Set(-9)
+	if got := n.Max(); got != -9 {
+		t.Fatalf("negative-only max = %d, want -9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, x := range []float64{0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(x)
+	}
+	snap := r.Snapshot().Histograms["h"]
+	// Bounds are upper limits (inclusive): 0.5 and 1 land in bucket 0,
+	// 2 and 10 in bucket 1, 11 in bucket 2, 1000 overflows.
+	want := []int64{2, 2, 1, 1}
+	if len(snap.Counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(snap.Counts), len(want))
+	}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", snap.Counts, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	s := h.Summary()
+	if s.Min != 0.5 || s.Max != 1000 {
+		t.Fatalf("summary min/max = %g/%g, want 0.5/1000", s.Min, s.Max)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("descending bounds did not panic")
+		}
+	}()
+	r.Histogram("bad", []float64{10, 1})
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e3, 4, 4)
+	want := []float64{1e3, 4e3, 16e3, 64e3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", []float64{1})
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 {
+		t.Fatalf("nil instruments recorded something")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2})
+	c.Inc()
+	g.Set(5)
+	h.Observe(1)
+
+	snap := r.Snapshot()
+	c.Inc()
+	g.Set(50)
+	h.Observe(2)
+
+	if snap.Counters["c"] != 1 {
+		t.Fatalf("snapshot counter mutated: %d", snap.Counters["c"])
+	}
+	if gs := snap.Gauges["g"]; gs.Value != 5 || gs.Max != 5 {
+		t.Fatalf("snapshot gauge mutated: %+v", gs)
+	}
+	if hs := snap.Histograms["h"]; hs.Summary.Count != 1 || hs.Counts[0] != 1 || hs.Counts[1] != 0 {
+		t.Fatalf("snapshot histogram mutated: %+v", hs)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b").Add(2)
+		r.Counter("a").Inc()
+		r.Gauge("g").Set(3)
+		r.Histogram("h", []float64{1, 10}).Observe(4)
+		return r
+	}
+	var one, two bytes.Buffer
+	if err := build().WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatalf("two identical registries marshalled differently:\n%s\nvs\n%s", one.Bytes(), two.Bytes())
+	}
+
+	var decoded Snapshot
+	if err := json.Unmarshal(one.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v", err)
+	}
+	if decoded.Counters["a"] != 1 || decoded.Counters["b"] != 2 {
+		t.Fatalf("round-trip lost counters: %+v", decoded.Counters)
+	}
+}

@@ -21,7 +21,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Wildcards.
@@ -144,6 +146,17 @@ type World struct {
 	tb    *cluster.Testbed
 	cfg   Config
 	procs []*Process
+	ins   worldInstruments
+}
+
+// worldInstruments aggregates the MPI-layer mechanisms the paper's figures
+// rest on, summed over all ranks. Queue-depth gauges track the job-wide
+// total via +1/-1 deltas, so their high-water mark is the global peak.
+type worldInstruments struct {
+	eager, rndv             *metrics.Counter
+	postedMatch, unexpSunk  *metrics.Counter
+	postedDepth, unexpDepth *metrics.Gauge
+	hPostedWalk, hUnexpWalk *metrics.Histogram
 }
 
 // Process is one MPI rank.
@@ -151,6 +164,7 @@ type Process struct {
 	world *World
 	rank  int
 	host  *cluster.Host
+	track string // trace track name, "mpi.rank<N>"
 
 	vb  *vbind
 	mxb *mxbind
@@ -177,8 +191,21 @@ type umsg struct {
 // to drain setup events.
 func NewWorld(tb *cluster.Testbed, cfg Config) *World {
 	w := &World{tb: tb, cfg: cfg}
+	reg := tb.Eng.Metrics()
+	// Walk-length histograms: entries traversed per matching attempt.
+	wb := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	w.ins = worldInstruments{
+		eager:       reg.Counter("mpi.eager_sends"),
+		rndv:        reg.Counter("mpi.rndv_sends"),
+		postedMatch: reg.Counter("mpi.posted_matches"),
+		unexpSunk:   reg.Counter("mpi.unexpected_matches"),
+		postedDepth: reg.Gauge("mpi.posted_queue_depth"),
+		unexpDepth:  reg.Gauge("mpi.unexpected_queue_depth"),
+		hPostedWalk: reg.Histogram("mpi.posted_walk_entries", wb),
+		hUnexpWalk:  reg.Histogram("mpi.unexpected_walk_entries", wb),
+	}
 	for i, h := range tb.Hosts {
-		p := &Process{world: w, rank: i, host: h}
+		p := &Process{world: w, rank: i, host: h, track: fmt.Sprintf("mpi.rank%d", i)}
 		if tb.Kind.IsMX() {
 			p.mxb = newMXBind(p)
 		} else {
@@ -358,15 +385,25 @@ func (p *Process) progressUntil(pr *sim.Proc, cond func() bool) {
 // per-entry traversal cost, and removes and returns the match.
 func (p *Process) matchPosted(pr *sim.Proc, src, tag int) *Request {
 	cfg := p.world.cfg
+	ins := &p.world.ins
+	sp := p.eng().Trc().Begin(p.track, "match.posted", trace.I64("depth", int64(len(p.posted))))
 	pr.Sleep(cfg.MatchBase)
+	walked := 0
 	for i, req := range p.posted {
 		pr.Sleep(cfg.PostedPerEntry)
+		walked++
 		if (req.src == AnySource || req.src == src) && (req.tag == AnyTag || req.tag == tag) {
 			p.posted = append(p.posted[:i], p.posted[i+1:]...)
 			p.PostedMatches++
+			ins.postedMatch.Inc()
+			ins.hPostedWalk.Observe(float64(walked))
+			ins.postedDepth.Add(-1)
+			sp.End(trace.I64("walked", int64(walked)), trace.Bool("hit", true))
 			return req
 		}
 	}
+	ins.hPostedWalk.Observe(float64(walked))
+	sp.End(trace.I64("walked", int64(walked)), trace.Bool("hit", false))
 	return nil
 }
 
@@ -374,15 +411,37 @@ func (p *Process) matchPosted(pr *sim.Proc, src, tag int) *Request {
 // wildcards), charging the per-entry cost, and removes and returns the match.
 func (p *Process) matchUnexpected(pr *sim.Proc, src, tag int) *umsg {
 	cfg := p.world.cfg
+	ins := &p.world.ins
+	sp := p.eng().Trc().Begin(p.track, "match.unexpected", trace.I64("depth", int64(len(p.unexpected))))
+	walked := 0
 	for i, m := range p.unexpected {
 		pr.Sleep(cfg.UnexpPerEntry)
+		walked++
 		if (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag) {
 			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
 			p.UnexpectedMatches++
+			ins.unexpSunk.Inc()
+			ins.hUnexpWalk.Observe(float64(walked))
+			ins.unexpDepth.Add(-1)
+			sp.End(trace.I64("walked", int64(walked)), trace.Bool("hit", true))
 			return m
 		}
 	}
+	ins.hUnexpWalk.Observe(float64(walked))
+	sp.End(trace.I64("walked", int64(walked)), trace.Bool("hit", false))
 	return nil
+}
+
+// notePosted records the enqueue of a posted receive (gauge + trace sample).
+func (p *Process) notePosted() {
+	p.world.ins.postedDepth.Add(1)
+	p.eng().Trc().Counter(p.track, "posted_depth", int64(len(p.posted)))
+}
+
+// noteUnexpected records the enqueue of an unexpected message.
+func (p *Process) noteUnexpected() {
+	p.world.ins.unexpDepth.Add(1)
+	p.eng().Trc().Counter(p.track, "unexpected_depth", int64(len(p.unexpected)))
 }
 
 // QueueDepths reports the current posted and unexpected queue lengths

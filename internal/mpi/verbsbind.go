@@ -3,9 +3,11 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 )
 
@@ -138,20 +140,25 @@ func (b *vbind) addPeer(rank int, ctrl, data verbs.QP) {
 
 // prepost allocates and posts the eager bounce pools. Registration and
 // posting happen at MPI_Init time, off the measured path, so they use the
-// free-of-charge registration entry points.
+// free-of-charge registration entry points. Peers are visited in rank order:
+// posting touches shared NIC resources, so map-order iteration would make
+// init-time bookkeeping (and with it whole-run event ordering) vary between
+// identically-seeded runs on three or more nodes.
 func (b *vbind) prepost() {
 	p := b.p
 	cfg := p.world.cfg
 	size := hdrBytes + cfg.EagerThreshold
 	nic := p.host.NIC()
+	peers := b.peerRanks()
 	p.eng().Go(fmt.Sprintf("mpi/r%d/init", p.rank), func(pr *sim.Proc) {
-		for range b.qps {
+		for range peers {
 			for i := 0; i < cfg.EagerCredits; i++ {
 				buf := p.host.Mem.Alloc(size)
 				b.sendFree = append(b.sendFree, &bounceBuf{buf: buf, reg: nic.Reg().RegisterFree(buf, 0, size)})
 			}
 		}
-		for peer, qp := range b.qps {
+		for _, peer := range peers {
+			qp := b.qps[peer]
 			for i := 0; i < cfg.EagerCredits; i++ {
 				buf := p.host.Mem.Alloc(size)
 				bb := &bounceBuf{buf: buf, reg: nic.Reg().RegisterFree(buf, 0, size), peer: peer}
@@ -159,7 +166,8 @@ func (b *vbind) prepost() {
 			}
 		}
 		// The data QPs only ever receive header-sized FINs.
-		for peer, qp := range b.dataQPs {
+		for _, peer := range peers {
+			qp := b.dataQPs[peer]
 			for i := 0; i < cfg.EagerCredits; i++ {
 				buf := p.host.Mem.Alloc(hdrBytes)
 				bb := &bounceBuf{buf: buf, reg: nic.Reg().RegisterFree(buf, 0, hdrBytes), peer: peer}
@@ -167,6 +175,16 @@ func (b *vbind) prepost() {
 			}
 		}
 	})
+}
+
+// peerRanks returns the connected peers in ascending rank order.
+func (b *vbind) peerRanks() []int {
+	peers := make([]int, 0, len(b.qps))
+	for r := range b.qps {
+		peers = append(peers, r)
+	}
+	sort.Ints(peers)
+	return peers
 }
 
 func (b *vbind) newWR(info *wrInfo) uint64 {
@@ -221,6 +239,9 @@ func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer,
 	b.drain(pr)
 	if n <= p.world.cfg.EagerThreshold {
 		p.EagerSends++
+		p.world.ins.eager.Inc()
+		p.eng().Trc().Instant(p.track, "send.eager",
+			trace.I64("dst", int64(dst)), trace.I64("tag", int64(tag)), trace.I64("bytes", int64(n)))
 		bb := b.getSendBounce(pr)
 		hdr := wireHdr{kind: kEager, src: p.rank, tag: tag, size: n}
 		if sync {
@@ -247,6 +268,9 @@ func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer,
 	// Rendezvous: stash the source buffer on the request and send the RTS;
 	// the CTS handler continues the protocol.
 	p.RndvSends++
+	p.world.ins.rndv.Inc()
+	p.eng().Trc().Instant(p.track, "send.rts",
+		trace.I64("dst", int64(dst)), trace.I64("tag", int64(tag)), trace.I64("bytes", int64(n)))
 	req.buf, req.off, req.n = buf, off, n
 	b.sendCtrl(pr, dst, wireHdr{kind: kRTS, src: p.rank, tag: tag, size: n, reqA: b.newReq(req)})
 }
@@ -260,6 +284,7 @@ func (b *vbind) irecv(pr *sim.Proc, req *Request) {
 		return
 	}
 	p.posted = append(p.posted, req)
+	p.notePosted()
 }
 
 // deliverUnexpected completes a receive against an unexpected-queue entry.
@@ -362,12 +387,15 @@ func (b *vbind) handleArrival(pr *sim.Proc, bb *bounceBuf) {
 	hdr := decodeHdr(bb.buf.Bytes())
 	switch hdr.kind {
 	case kEager, kEagerSyn:
+		p.eng().Trc().Instant(p.track, "recv.eager",
+			trace.I64("src", int64(hdr.src)), trace.I64("tag", int64(hdr.tag)), trace.I64("bytes", int64(hdr.size)))
 		req := p.matchPosted(pr, hdr.src, hdr.tag)
 		if req == nil {
 			p.unexpected = append(p.unexpected, &umsg{
 				src: hdr.src, tag: hdr.tag, n: hdr.size,
 				sync: hdr.kind == kEagerSyn, bounce: bb, senderReq: hdr.reqA,
 			})
+			p.noteUnexpected()
 			return // bounce stays parked until the matching receive
 		}
 		if hdr.size > req.n {
@@ -383,14 +411,18 @@ func (b *vbind) handleArrival(pr *sim.Proc, bb *bounceBuf) {
 		req.done.Fire()
 		b.repostQ = append(b.repostQ, bb)
 	case kRTS:
+		p.eng().Trc().Instant(p.track, "recv.rts",
+			trace.I64("src", int64(hdr.src)), trace.I64("tag", int64(hdr.tag)), trace.I64("bytes", int64(hdr.size)))
 		req := p.matchPosted(pr, hdr.src, hdr.tag)
 		if req == nil {
 			p.unexpected = append(p.unexpected, &umsg{src: hdr.src, tag: hdr.tag, n: hdr.size, senderReq: hdr.reqA})
+			p.noteUnexpected()
 		} else {
 			b.startRndvRecv(pr, hdr.src, hdr.tag, hdr.size, hdr.reqA, req)
 		}
 		b.repostQ = append(b.repostQ, bb)
 	case kCTS:
+		p.eng().Trc().Instant(p.track, "recv.cts", trace.I64("src", int64(hdr.src)), trace.I64("bytes", int64(hdr.size)))
 		sreq := b.takeReq(hdr.reqB)
 		region := b.regCache.Get(pr, sreq.buf, sreq.off, sreq.n)
 		b.dataQPs[hdr.src].PostSend(pr, verbs.WR{
@@ -402,6 +434,7 @@ func (b *vbind) handleArrival(pr *sim.Proc, bb *bounceBuf) {
 		})
 		b.repostQ = append(b.repostQ, bb)
 	case kFIN:
+		p.eng().Trc().Instant(p.track, "recv.fin", trace.I64("src", int64(hdr.src)))
 		rreq := b.takeReq(hdr.reqB)
 		b.regCache.Put(pr, rreq.rndvRegion)
 		rreq.done.Fire()

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
 )
@@ -187,6 +188,10 @@ type Endpoint struct {
 	PostedMatchedOnNIC      int64
 	TraversedPostedEntries  int64
 	TraversedUnexpectedEnts int64
+
+	cEager, cRndv, cUnexp     *metrics.Counter
+	cNICAttempts, cNICMatched *metrics.Counter
+	cNICWalk, cHostWalk       *metrics.Counter
 }
 
 // NewEndpoint attaches a new endpoint to the fabric.
@@ -202,6 +207,14 @@ func NewEndpoint(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.
 	}
 	e.regs = mem.NewRegCache(mem.NewRegTable(eng, name+"/reg", cfg.RegCost), cfg.RegCacheSize)
 	e.port = net.Attach(e)
+	mreg := eng.Metrics()
+	e.cEager = mreg.Counter("mx.eager_sent")
+	e.cRndv = mreg.Counter("mx.rndv_sent")
+	e.cUnexp = mreg.Counter("mx.unexpected_arrivals")
+	e.cNICAttempts = mreg.Counter("mx.nic_match_attempts")
+	e.cNICMatched = mreg.Counter("mx.nic_matched")
+	e.cNICWalk = mreg.Counter("mx.nic_posted_walk_entries")
+	e.cHostWalk = mreg.Counter("mx.host_unexpected_walk_entries")
 	eng.Go(name+"/rx", e.rxLoop)
 	return e
 }
@@ -233,9 +246,11 @@ func (e *Endpoint) Isend(p *sim.Proc, peer *Endpoint, match uint64, buf *mem.Buf
 	p.Sleep(e.cfg.PostOverhead)
 	if n <= e.cfg.EagerMax {
 		e.EagerSent++
+		e.cEager.Inc()
 		e.eagerSend(p, x, buf, off)
 	} else {
 		e.RndvSent++
+		e.cRndv.Inc()
 		e.rndvSend(p, x, buf, off)
 	}
 	return h
@@ -359,6 +374,7 @@ func (e *Endpoint) Irecv(p *sim.Proc, match, mask uint64, buf *mem.Buffer, off, 
 	// Host-side unexpected search.
 	for i, x := range e.unexpected {
 		e.TraversedUnexpectedEnts++
+		e.cHostWalk.Inc()
 		p.Sleep(e.cfg.HostSearchPerEntry)
 		if x.match&mask == match&mask {
 			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
@@ -454,15 +470,18 @@ func (e *Endpoint) rxLoop(p *sim.Proc) {
 // added mid-walk, so a message never strands in the unexpected queue while
 // its receive sits posted.
 func (e *Endpoint) match(p *sim.Proc, bits uint64) *postedRecv {
+	e.cNICAttempts.Inc()
 	p.Sleep(e.cfg.MatchBase)
 	n := len(e.posted)
 	for i := 0; i < n && i < len(e.posted); i++ {
 		pr := e.posted[i]
 		e.TraversedPostedEntries++
+		e.cNICWalk.Inc()
 		p.Sleep(e.cfg.MatchPerEntry)
 		if bits&pr.mask == pr.match&pr.mask {
 			e.posted = append(e.posted[:i], e.posted[i+1:]...)
 			e.PostedMatchedOnNIC++
+			e.cNICMatched.Inc()
 			return pr
 		}
 	}
@@ -475,6 +494,7 @@ func (e *Endpoint) matchFree(bits uint64) *postedRecv {
 		if bits&pr.mask == pr.match&pr.mask {
 			e.posted = append(e.posted[:i], e.posted[i+1:]...)
 			e.PostedMatchedOnNIC++
+			e.cNICMatched.Inc()
 			return pr
 		}
 	}
@@ -502,6 +522,7 @@ func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 			// visible to subsequent receive posts immediately); the payload
 			// finishes arriving into the host ring asynchronously.
 			e.UnexpectedArrivals++
+			e.cUnexp.Inc()
 			x.unexpData = make([]byte, x.n)
 			x.arrived = sim.NewCompletion(e.eng)
 			e.unexpected = append(e.unexpected, x)
@@ -544,6 +565,7 @@ func (e *Endpoint) rxRTS(p *sim.Proc, pk *packet) {
 	e.nic.Release(1)
 	if pr == nil {
 		e.UnexpectedArrivals++
+		e.cUnexp.Inc()
 		e.unexpected = append(e.unexpected, x)
 		return
 	}

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Event is a scheduled callback. It can be cancelled before it fires.
@@ -67,23 +70,66 @@ type Engine struct {
 	err     error
 
 	// Tracer, if non-nil, receives a line for every traced action. It is
-	// meant for debugging; production runs leave it nil.
+	// the legacy printf debug hook; structured tracing (Trc) has replaced it
+	// internally, but the field and the Trace method keep working for
+	// third-party callers.
 	Tracer func(t Time, who, msg string)
+
+	trc *trace.Tracer
+	reg *metrics.Registry
+
+	// Cached engine self-instruments (see Metrics for the names).
+	cEvents, cProcs, cParked, cUnparked *metrics.Counter
 }
 
-// NewEngine returns an empty engine at virtual time zero.
+// NewEngine returns an empty engine at virtual time zero with a fresh
+// metrics registry and no tracer installed.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	e := &Engine{procs: make(map[*Proc]struct{}), reg: metrics.NewRegistry()}
+	e.cEvents = e.reg.Counter("sim.events_fired")
+	e.cProcs = e.reg.Counter("sim.procs_started")
+	e.cParked = e.reg.Counter("sim.procs_parked")
+	e.cUnparked = e.reg.Counter("sim.procs_unparked")
+	return e
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Trace emits a trace line if a Tracer is installed.
+// Metrics returns the engine's metrics registry. Components cache their
+// instruments from it at construction time; counting is always on (it
+// never consumes virtual time, so simulated results are unaffected).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Trc returns the structured tracer, nil when tracing is disabled. All
+// trace.Tracer methods are nil-safe, so call sites need no guards unless
+// they compute expensive labels (guard those with Trc().Enabled()).
+func (e *Engine) Trc() *trace.Tracer { return e.trc }
+
+// SetTracer installs (or, with nil, removes) a structured tracer.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.trc = t }
+
+// StartTrace creates a tracer bound to this engine's virtual clock, keeping
+// at most maxEvents events (<= 0 selects trace.DefaultMaxEvents), installs
+// it and returns it.
+func (e *Engine) StartTrace(maxEvents int) *trace.Tracer {
+	t := trace.New(func() int64 { return int64(e.now) }, maxEvents)
+	e.trc = t
+	return t
+}
+
+// Trace formats and emits a debug message: to the legacy Tracer hook if one
+// is installed, and as a structured instant event if tracing is enabled.
+// Kept for compatibility; new instrumentation should use Trc directly.
 func (e *Engine) Trace(who, format string, args ...any) {
-	if e.Tracer != nil {
-		e.Tracer(e.now, who, fmt.Sprintf(format, args...))
+	if e.Tracer == nil && !e.trc.Enabled() {
+		return
 	}
+	msg := fmt.Sprintf(format, args...)
+	if e.Tracer != nil {
+		e.Tracer(e.now, who, msg)
+	}
+	e.trc.Instant(who, msg)
 }
 
 // Schedule arranges for fn to run at now+after. A negative delay is treated
@@ -129,6 +175,7 @@ func (e *Engine) Run() error {
 			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now)
 		}
 		e.now = ev.at
+		e.cEvents.Inc()
 		ev.fn()
 	}
 	return e.err
@@ -213,6 +260,7 @@ func (e *Engine) Close() {
 func (e *Engine) dispatch(p *Proc) {
 	prev := e.current
 	e.current = p
+	e.cUnparked.Inc()
 	p.resume <- struct{}{}
 	<-p.yielded
 	e.current = prev
@@ -233,6 +281,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		yielded: make(chan struct{}),
 	}
 	e.procs[p] = struct{}{}
+	e.cProcs.Inc()
 	go func() {
 		<-p.resume
 		func() {

@@ -525,6 +525,48 @@ func TestTraceHook(t *testing.T) {
 	}
 }
 
+func TestTraceShimFeedsStructuredTracer(t *testing.T) {
+	e := NewEngine()
+	tr := e.StartTrace(0)
+	e.Go("p", func(p *Proc) {
+		p.Sleep(Microsecond)
+		e.Trace("p", "hello %d", 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	if evs[0].Who != "p" || evs[0].Name != "hello 1" || evs[0].Ts != int64(Microsecond) {
+		t.Errorf("event = %+v", evs[0])
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	e := NewEngine()
+	e.Go("a", func(p *Proc) { p.Sleep(Microsecond) })
+	e.Go("b", func(p *Proc) { p.Sleep(2 * Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Metrics().Snapshot()
+	if got := snap.Counters["sim.procs_started"]; got != 2 {
+		t.Errorf("procs_started = %d, want 2", got)
+	}
+	if got := snap.Counters["sim.events_fired"]; got <= 0 {
+		t.Errorf("events_fired = %d, want > 0", got)
+	}
+	// Dispatch conservation: every proc is dispatched once to start plus
+	// once per park, so when the heap drains cleanly
+	// unparked == parked + started.
+	p, u := snap.Counters["sim.procs_parked"], snap.Counters["sim.procs_unparked"]
+	if u != p+2 {
+		t.Errorf("unparked %d != parked %d + started 2", u, p)
+	}
+}
+
 func TestEventAtAndPending(t *testing.T) {
 	e := NewEngine()
 	ev := e.Schedule(3*Microsecond, func() {})

@@ -45,6 +45,7 @@ func (p *Proc) Done() *Completion {
 // else must eventually unpark the process (Completion.Fire, Queue.Put,
 // Resource.Release or Engine.Close).
 func (p *Proc) park() {
+	p.e.cParked.Inc()
 	p.yielded <- struct{}{}
 	<-p.resume
 	if p.killed {

@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 )
@@ -72,6 +73,81 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary is a running set of descriptive statistics with an explicit empty
+// state. The bare Mean/Min/Max/Percentile helpers return 0 for empty input,
+// which silently poisons aggregated summaries (a link that carried nothing
+// looks like one with zero delay); Summary keeps Count so consumers — and
+// its own JSON form — can tell "no samples" from a genuine zero.
+type Summary struct {
+	Count int64
+	Sum   float64
+	Min   float64 // undefined when Count == 0
+	Max   float64 // undefined when Count == 0
+}
+
+// Add folds one sample into the summary.
+func (s *Summary) Add(x float64) {
+	if s.Count == 0 || x < s.Min {
+		s.Min = x
+	}
+	if s.Count == 0 || x > s.Max {
+		s.Max = x
+	}
+	s.Count++
+	s.Sum += x
+}
+
+// Merge folds another summary into s.
+func (s *Summary) Merge(o Summary) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if s.Count == 0 || o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Empty reports whether the summary holds no samples.
+func (s Summary) Empty() bool { return s.Count == 0 }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary (check Empty
+// to distinguish).
+func (s Summary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// MarshalJSON emits {"count":0} for an empty summary — no fabricated zero
+// min/max/mean fields — and the full statistics otherwise.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	if s.Count == 0 {
+		return []byte(`{"count":0}`), nil
+	}
+	return json.Marshal(struct {
+		Count int64   `json:"count"`
+		Sum   float64 `json:"sum"`
+		Min   float64 `json:"min"`
+		Max   float64 `json:"max"`
+		Mean  float64 `json:"mean"`
+	}{s.Count, s.Sum, s.Min, s.Max, s.Mean()})
+}
+
+// Summarize folds a whole slice into a Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
 }
 
 // StdDev returns the population standard deviation, or 0 for fewer than two

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteChrome renders the buffer in the Chrome trace_event JSON format
+// (the "JSON Object Format": {"traceEvents": [...]}), loadable in
+// chrome://tracing and https://ui.perfetto.dev. Timestamps are converted
+// from picoseconds to the format's microseconds (fractional).
+//
+// Each distinct Who becomes one named thread track under a single process;
+// tracks are numbered in order of first appearance, which is deterministic
+// because the simulation is.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"sim"}}`)
+	tids := make(map[string]int)
+	for _, ev := range t.Events() {
+		tid, ok := tids[ev.Who]
+		if !ok {
+			tid = len(tids) + 1
+			tids[ev.Who] = tid
+			fmt.Fprintf(bw, `,{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+				tid, jsonString(ev.Who))
+		}
+		bw.WriteString(`,{"name":`)
+		bw.WriteString(jsonString(ev.Name))
+		fmt.Fprintf(bw, `,"ph":"%c","pid":1,"tid":%d,"ts":%s`, ev.Ph, tid, psToUS(ev.Ts))
+		switch ev.Ph {
+		case PhaseSpan:
+			fmt.Fprintf(bw, `,"dur":%s`, psToUS(ev.Dur))
+		case PhaseInstant:
+			bw.WriteString(`,"s":"t"`)
+		}
+		if len(ev.Attrs) > 0 {
+			bw.WriteString(`,"args":`)
+			writeAttrs(bw, ev.Attrs)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// WriteJSONL renders the buffer as one JSON object per line with raw
+// picosecond timestamps, for jq-style processing.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		fmt.Fprintf(bw, `{"ph":"%c","who":%s,"name":%s,"ts_ps":%d`,
+			ev.Ph, jsonString(ev.Who), jsonString(ev.Name), ev.Ts)
+		if ev.Ph == PhaseSpan {
+			fmt.Fprintf(bw, `,"dur_ps":%d`, ev.Dur)
+		}
+		if len(ev.Attrs) > 0 {
+			bw.WriteString(`,"attrs":`)
+			writeAttrs(bw, ev.Attrs)
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace to path.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeAttrs renders attributes as a JSON object, preserving record order.
+func writeAttrs(w *bufio.Writer, attrs []Attr) {
+	w.WriteByte('{')
+	for i, a := range attrs {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(jsonString(a.Key))
+		w.WriteByte(':')
+		switch a.kind {
+		case attrString:
+			w.WriteString(jsonString(a.str))
+		case attrInt:
+			w.WriteString(strconv.FormatInt(a.num, 10))
+		case attrFloat:
+			w.WriteString(strconv.FormatFloat(a.f, 'g', -1, 64))
+		case attrBool:
+			w.WriteString(strconv.FormatBool(a.num != 0))
+		}
+	}
+	w.WriteByte('}')
+}
+
+// jsonString marshals a string with full escaping.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// psToUS formats a picosecond quantity as trace_event microseconds.
+func psToUS(ps int64) string {
+	return strconv.FormatFloat(float64(ps)/1e6, 'f', -1, 64)
+}

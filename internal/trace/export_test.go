@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeEvent mirrors the trace_event fields the exporter emits.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func buildTracer() *Tracer {
+	tr := New(fakeClock(1_000_000), 0) // 1 us per tick
+	tr.Instant("rank0", "send.eager", I64("bytes", 4096), Str("peer", "rank1"))
+	tr.Complete("link.up.0", "tx", 2_000_000, 3_500_000, F64("util", 0.5), Bool("drop", false))
+	tr.Counter("rank1", "posted_depth", 4)
+	return tr
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var meta, data []chromeEvent
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			meta = append(meta, ev)
+		} else {
+			data = append(data, ev)
+		}
+	}
+	// One process_name plus one thread_name per distinct Who.
+	if len(meta) != 4 {
+		t.Fatalf("metadata events = %d, want 4: %+v", len(meta), meta)
+	}
+	if meta[0].Name != "process_name" {
+		t.Fatalf("first metadata event = %+v", meta[0])
+	}
+	names := map[string]int{}
+	for _, ev := range meta[1:] {
+		if ev.Name != "thread_name" {
+			t.Fatalf("metadata event = %+v", ev)
+		}
+		names[ev.Args["name"].(string)] = ev.Tid
+	}
+	for _, who := range []string{"rank0", "link.up.0", "rank1"} {
+		if _, ok := names[who]; !ok {
+			t.Fatalf("no thread_name for %q: %v", who, names)
+		}
+	}
+
+	if len(data) != 3 {
+		t.Fatalf("data events = %d, want 3", len(data))
+	}
+	inst, span, ctr := data[0], data[1], data[2]
+
+	// Instant: ts in (fractional) microseconds, scoped "t", attrs preserved.
+	if inst.Ph != "i" || inst.S != "t" || inst.Ts != 1.0 {
+		t.Fatalf("instant = %+v", inst)
+	}
+	if inst.Args["bytes"].(float64) != 4096 || inst.Args["peer"].(string) != "rank1" {
+		t.Fatalf("instant args = %+v", inst.Args)
+	}
+	// Span: ps -> us conversion for both ts and dur.
+	if span.Ph != "X" || span.Ts != 2.0 || span.Dur != 1.5 {
+		t.Fatalf("span = %+v", span)
+	}
+	if span.Args["util"].(float64) != 0.5 || span.Args["drop"].(bool) != false {
+		t.Fatalf("span args = %+v", span.Args)
+	}
+	// Counter: Perfetto draws args values as the track.
+	if ctr.Ph != "C" || ctr.Args["value"].(float64) != 4 {
+		t.Fatalf("counter = %+v", ctr)
+	}
+	// Distinct Whos get distinct tids; all events share pid 1.
+	if inst.Tid == span.Tid || inst.Tid == ctr.Tid || span.Tid == ctr.Tid {
+		t.Fatalf("tids not distinct: %d %d %d", inst.Tid, span.Tid, ctr.Tid)
+	}
+	for _, ev := range data {
+		if ev.Pid != 1 {
+			t.Fatalf("pid = %d, want 1: %+v", ev.Pid, ev)
+		}
+	}
+	if inst.Tid != names["rank0"] || span.Tid != names["link.up.0"] {
+		t.Fatalf("events not on their declared tracks")
+	}
+}
+
+func TestWriteChromeEscapes(t *testing.T) {
+	tr := New(fakeClock(1), 0)
+	tr.Instant(`wh"o`, "na\nme", Str(`k"ey`, "v\tal"))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("escaping broke JSON validity: %v\n%s", err, buf.Bytes())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTracer().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	// Raw picosecond timestamps, not microseconds.
+	if lines[0]["ts_ps"].(float64) != 1_000_000 {
+		t.Fatalf("instant line = %+v", lines[0])
+	}
+	if lines[1]["dur_ps"].(float64) != 1_500_000 {
+		t.Fatalf("span line = %+v", lines[1])
+	}
+	if _, hasDur := lines[0]["dur_ps"]; hasDur {
+		t.Fatalf("instant line carries dur_ps: %+v", lines[0])
+	}
+	if lines[1]["who"].(string) != "link.up.0" {
+		t.Fatalf("span who = %+v", lines[1])
+	}
+}
+
+func TestPsToUS(t *testing.T) {
+	cases := map[int64]string{
+		0:         "0",
+		1:         "0.000001",
+		1_000_000: "1",
+		1_500_000: "1.5",
+	}
+	for ps, want := range cases {
+		if got := psToUS(ps); got != want {
+			t.Fatalf("psToUS(%d) = %q, want %q", ps, got, want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace is a structured, virtual-time event tracer for the
+// simulator. Components record spans (who, name, start/end, key=value
+// attributes), instant events and counter samples into a bounded in-memory
+// buffer; exporters render the buffer as Chrome trace_event JSON (loadable
+// in chrome://tracing or Perfetto) or as JSONL for ad-hoc processing.
+//
+// Tracing is designed to be free when disabled: every recording method is
+// safe to call on a nil *Tracer and returns immediately without allocating,
+// so instrumented code needs no guards on its fast path. Call sites that
+// must compute expensive arguments (fmt.Sprintf labels and the like) can
+// check Enabled first.
+//
+// Timestamps are int64 virtual-time picoseconds (sim.Time widened), supplied
+// by a clock callback so the package stays dependency-free.
+package trace
+
+// attrKind discriminates the payload of an Attr without boxing values in an
+// interface (which would allocate even when the tracer is nil).
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Attr is one key=value annotation on an event.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	num  int64
+	f    float64
+}
+
+// Str returns a string-valued attribute.
+func Str(key, val string) Attr { return Attr{Key: key, kind: attrString, str: val} }
+
+// I64 returns an integer-valued attribute.
+func I64(key string, val int64) Attr { return Attr{Key: key, kind: attrInt, num: val} }
+
+// F64 returns a float-valued attribute.
+func F64(key string, val float64) Attr { return Attr{Key: key, kind: attrFloat, f: val} }
+
+// Bool returns a boolean-valued attribute.
+func Bool(key string, val bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if val {
+		a.num = 1
+	}
+	return a
+}
+
+// Value returns the attribute's payload as an any (exported for tests and
+// the JSON exporters; boxing here is off the recording path).
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrString:
+		return a.str
+	case attrInt:
+		return a.num
+	case attrFloat:
+		return a.f
+	default:
+		return a.num != 0
+	}
+}
+
+// Event phases, mirroring the Chrome trace_event "ph" field.
+const (
+	PhaseSpan    = 'X' // complete span with duration
+	PhaseInstant = 'i' // instant event
+	PhaseCounter = 'C' // counter sample
+)
+
+// Event is one recorded trace entry.
+type Event struct {
+	Ph    byte
+	Who   string // track: a process, NIC engine, link or MPI rank
+	Name  string
+	Ts    int64 // virtual time, picoseconds
+	Dur   int64 // span duration, picoseconds (spans only)
+	Attrs []Attr
+}
+
+// Tracer records events into a bounded buffer. The zero value is not usable;
+// create tracers with New. A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	clock   func() int64
+	max     int
+	events  []Event
+	dropped int64
+}
+
+// DefaultMaxEvents bounds a tracer when the caller does not choose a limit.
+const DefaultMaxEvents = 1 << 20
+
+// New returns a tracer reading timestamps from clock, keeping at most
+// maxEvents events (older events win; later ones are counted as dropped).
+// maxEvents <= 0 selects DefaultMaxEvents.
+func New(clock func() int64, maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Tracer{clock: clock, max: maxEvents}
+}
+
+// Enabled reports whether events are being recorded. It is the guard for
+// call sites that would otherwise compute expensive labels.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded because the buffer was full.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the buffered events in record order. The slice is shared;
+// callers must not mutate it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Instant records a point-in-time event at the current virtual time.
+func (t *Tracer) Instant(who, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.record(PhaseInstant, who, name, t.clock(), 0, attrs)
+}
+
+// Counter records a counter sample (rendered as a stacked chart track by
+// Perfetto); use it for queue depths and similar evolving quantities.
+func (t *Tracer) Counter(who, name string, value int64) {
+	if t == nil {
+		return
+	}
+	t.recordOwned(PhaseCounter, who, name, t.clock(), 0, []Attr{I64("value", value)})
+}
+
+// Complete records a span whose start and end are already known, e.g. a
+// frame's wire occupancy computed from link bookkeeping.
+func (t *Tracer) Complete(who, name string, start, end int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.record(PhaseSpan, who, name, start, end-start, attrs)
+}
+
+// Span is an in-progress interval started by Begin. The zero value (from a
+// nil tracer) is valid; End on it is a no-op.
+type Span struct {
+	t     *Tracer
+	who   string
+	name  string
+	start int64
+	attrs []Attr
+}
+
+// Begin opens a span at the current virtual time. Close it with End.
+func (t *Tracer) Begin(who, name string, attrs ...Attr) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, who: who, name: name, start: t.clock(), attrs: cloneAttrs(attrs)}
+}
+
+// End closes the span at the current virtual time, appending any extra
+// attributes gathered while it ran.
+func (s Span) End(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	a := s.attrs
+	if len(attrs) > 0 {
+		a = append(append([]Attr(nil), s.attrs...), attrs...)
+	}
+	end := s.t.clock()
+	s.t.recordOwned(PhaseSpan, s.who, s.name, s.start, end-s.start, a)
+}
+
+// record buffers one event, cloning attrs so variadic call-site slices never
+// escape to the heap (the nil-tracer fast path must not allocate).
+func (t *Tracer) record(ph byte, who, name string, ts, dur int64, attrs []Attr) {
+	t.recordOwned(ph, who, name, ts, dur, cloneAttrs(attrs))
+}
+
+// recordOwned buffers one event taking ownership of attrs.
+func (t *Tracer) recordOwned(ph byte, who, name string, ts, dur int64, attrs []Attr) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{Ph: ph, Who: who, Name: name, Ts: ts, Dur: dur, Attrs: attrs})
+}
+
+// cloneAttrs copies a variadic attribute slice. It only reads its argument,
+// which lets the compiler keep call-site backing arrays on the stack.
+func cloneAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	return append([]Attr(nil), attrs...)
+}
