@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race traceguard verify figures calibrate clean
+.PHONY: all build test vet lint race traceguard verify figures calibrate clean
 
 all: verify
 
@@ -16,17 +16,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The simulation engine and the metrics registry are single-threaded by
-# design; the race detector proves the tests don't violate that.
+# simlint mechanically enforces the determinism contract (virtual time only,
+# no map-order dependence, no ad-hoc concurrency, unit-carrying durations,
+# constant trace/metric names). See docs/static-analysis.md.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+# The simulation engine, the metrics registry, and the MPI layer are
+# single-threaded by design; the race detector proves the tests don't
+# violate that.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/metrics/...
+	$(GO) test -race ./internal/sim/... ./internal/metrics/... ./internal/mpi/...
 
 # Guard the zero-cost-when-disabled contract of the tracer: recording
 # against a nil tracer must not allocate (see internal/trace).
 traceguard:
 	$(GO) test -run TestTraceOverhead ./internal/trace/...
 
-verify: build test vet race traceguard
+verify: build test vet lint race traceguard
 
 figures:
 	$(GO) run ./cmd/figures

@@ -1,0 +1,253 @@
+// Command simlint enforces the simulator's determinism contract with the
+// analyzer suite under internal/lint (see docs/static-analysis.md).
+//
+// Direct mode (the usual way, what `make lint` runs):
+//
+//	simlint [-tests=false] [-vet] [packages]
+//
+// analyzes the named packages (default ./...) and exits 2 if any
+// diagnostic is reported. -vet additionally runs the standard `go vet`
+// suite over the same patterns first.
+//
+// Vettool mode: when invoked with a single *.cfg argument, simlint speaks
+// the cmd/go unitchecker protocol, so it can also run as
+//
+//	go vet -vettool=$(go env GOPATH)/bin/simlint ./...
+//
+// In that mode cmd/go supplies the export data and file lists; scoping is
+// identical to direct mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/detclock"
+	"repro/internal/lint/directivecheck"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/nogoroutine"
+	"repro/internal/lint/scope"
+	"repro/internal/lint/timeunits"
+	"repro/internal/lint/tracekeys"
+)
+
+// All is the full suite, in reporting order.
+var All = []*analysis.Analyzer{
+	detclock.Analyzer,
+	maporder.Analyzer,
+	nogoroutine.Analyzer,
+	timeunits.Analyzer,
+	tracekeys.Analyzer,
+	directivecheck.Analyzer,
+}
+
+// analyzersFor applies the scoping rules from internal/lint/scope.
+func analyzersFor(importPath string) []*analysis.Analyzer {
+	var as []*analysis.Analyzer
+	if scope.InSimDomain(importPath) {
+		as = append(as, detclock.Analyzer, maporder.Analyzer, nogoroutine.Analyzer, timeunits.Analyzer)
+	}
+	if scope.WantsTraceKeys(importPath) {
+		as = append(as, tracekeys.Analyzer)
+	}
+	if scope.WantsDirectiveCheck(importPath) {
+		as = append(as, directivecheck.Analyzer)
+	}
+	return as
+}
+
+func main() {
+	// Tool-ID handshake used by cmd/go before dispatching unit checks.
+	if len(os.Args) == 2 && (os.Args[1] == "-V=full" || os.Args[1] == "-V") {
+		fmt.Printf("%s version simlint-1.0\n", os.Args[0])
+		return
+	}
+	// cmd/go asks the tool which flags it accepts; the suite has none that
+	// vet needs to forward.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitcheck(os.Args[1]))
+	}
+
+	tests := flag.Bool("tests", true, "also analyze in-package _test.go files")
+	vet := flag.Bool("vet", false, "additionally run the standard `go vet` suite")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-tests=false] [-vet] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers (see docs/static-analysis.md):\n")
+		for _, a := range All {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	status := 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			status = 2
+		}
+	}
+
+	pkgs, err := loader.Load(loader.Config{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(1)
+	}
+	var diags []analysis.Diagnostic
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		fset = p.Fset
+		diags = append(diags, runAnalyzers(analyzersFor(p.ImportPath), p.Fset, p.Files, p.Types, p.TypesInfo)...)
+	}
+	if print(fset, diags) {
+		status = 2
+	}
+	os.Exit(status)
+}
+
+func runAnalyzers(as []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range as {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: analyzer %s: %v\n", a.Name, err)
+			os.Exit(1)
+		}
+	}
+	return diags
+}
+
+// print writes diagnostics in file order and reports whether there were any.
+func print(fset *token.FileSet, diags []analysis.Diagnostic) bool {
+	if len(diags) == 0 || fset == nil {
+		return len(diags) > 0
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer.Name)
+	}
+	return true
+}
+
+// vetConfig mirrors the JSON config cmd/go writes for -vettool workers.
+type vetConfig struct {
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package as directed by a cmd/go vet config and
+// returns the process exit status (0 clean, 2 diagnostics, 1 error).
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// cmd/go expects the facts file regardless; the suite carries no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("simlint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	as := analyzersFor(cfg.ImportPath)
+	if len(as) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := loader.NewInfo()
+	tconf := types.Config{Importer: imp}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "simlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if print(fset, runAnalyzers(as, fset, files, pkg, info)) {
+		return 2
+	}
+	return 0
+}

@@ -49,16 +49,19 @@ func TestSizeHelpers(t *testing.T) {
 }
 
 func TestFmtX(t *testing.T) {
-	cases := map[float64]string{
-		1:       "1",
-		1024:    "1K",
-		65536:   "64K",
-		1 << 20: "1M",
-		100:     "100",
+	cases := []struct {
+		x    float64
+		want string
+	}{
+		{1, "1"},
+		{100, "100"},
+		{1024, "1K"},
+		{65536, "64K"},
+		{1 << 20, "1M"},
 	}
-	for x, want := range cases {
-		if got := fmtX(x); got != want {
-			t.Errorf("fmtX(%v) = %q, want %q", x, got, want)
+	for _, c := range cases {
+		if got := fmtX(c.x); got != c.want {
+			t.Errorf("fmtX(%v) = %q, want %q", c.x, got, c.want)
 		}
 	}
 }

@@ -11,10 +11,13 @@ import (
 )
 
 func TestKindStrings(t *testing.T) {
-	want := map[Kind]string{IWARP: "iWARP", IB: "IB", MXoM: "MXoM", MXoE: "MXoE"}
-	for k, s := range want {
-		if k.String() != s {
-			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+	want := []struct {
+		k Kind
+		s string
+	}{{IWARP, "iWARP"}, {IB, "IB"}, {MXoM, "MXoM"}, {MXoE, "MXoE"}}
+	for _, c := range want {
+		if c.k.String() != c.s {
+			t.Errorf("%d.String() = %q, want %q", int(c.k), c.k.String(), c.s)
 		}
 	}
 	if Kind(99).String() != "unknown" {

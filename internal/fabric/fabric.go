@@ -235,10 +235,14 @@ func (n *Network) PublishLinkMetrics() {
 			upUtil = int64(p.up.busy) * 10000 / int64(elapsed)
 			dnUtil = int64(p.dn.busy) * 10000 / int64(elapsed)
 		}
-		reg.Gauge(fmt.Sprintf("fabric.port%d.up_bytes", p.id)).Set(p.up.bytes)
-		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_bytes", p.id)).Set(p.dn.bytes)
-		reg.Gauge(fmt.Sprintf("fabric.port%d.up_util_bp", p.id)).Set(upUtil)
-		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_util_bp", p.id)).Set(dnUtil)
+		// The gauge names are indexed by port id. Port ids are assigned
+		// densely at attach time, so the name set is identical across runs
+		// and snapshot determinism holds; this is a cold path, called once
+		// per run, so the allocation does not violate the tracing budget.
+		reg.Gauge(fmt.Sprintf("fabric.port%d.up_bytes", p.id)).Set(p.up.bytes) //simlint:allow tracekeys per-port gauge name; see comment above
+		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_bytes", p.id)).Set(p.dn.bytes) //simlint:allow tracekeys per-port gauge name; see comment above
+		reg.Gauge(fmt.Sprintf("fabric.port%d.up_util_bp", p.id)).Set(upUtil)   //simlint:allow tracekeys per-port gauge name; see comment above
+		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_util_bp", p.id)).Set(dnUtil)   //simlint:allow tracekeys per-port gauge name; see comment above
 	}
 }
 

@@ -1,0 +1,176 @@
+// Package analysis is a compact, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects the
+// type-checked syntax of one package and reports Diagnostics through a Pass.
+//
+// The repo is built offline (stdlib only, see README), so it cannot vendor
+// x/tools. This package keeps the same shape — Name/Doc/Run, Pass with
+// Fset/Files/Pkg/TypesInfo, Reportf — so the simlint analyzers read like
+// ordinary go/analysis analyzers and could be ported to the real framework
+// by swapping the import.
+//
+// One extension is built in: source-level suppression directives. A comment
+// of the form
+//
+//	//simlint:allow <check> <reason>
+//
+// placed on the offending line, or on the line immediately above it,
+// suppresses diagnostics of the named check for that line only. The reason
+// is mandatory; the directive analyzer (internal/lint/directivecheck) flags
+// bare or malformed directives. Suppression is applied inside Pass.Reportf,
+// so it behaves identically under cmd/simlint and under analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text: one summary line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) (any, error)
+}
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// A Pass provides one analyzer with the type-checked syntax of one package
+// and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives every non-suppressed diagnostic. The driver
+	// (cmd/simlint or analysistest) installs it.
+	Report func(Diagnostic)
+
+	allowed map[string]map[int]bool // file name -> lines with a matching allow directive
+}
+
+// Reportf reports a formatted diagnostic at pos, unless an
+// //simlint:allow directive for this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func (p *Pass) suppressed(pos token.Pos) bool {
+	if p.allowed == nil {
+		p.allowed = make(map[string]map[int]bool)
+		for _, f := range p.Files {
+			for _, d := range Directives(p.Fset, f) {
+				if d.Check != p.Analyzer.Name || d.Reason == "" {
+					continue
+				}
+				dp := p.Fset.Position(d.Pos)
+				lines := p.allowed[dp.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.allowed[dp.Filename] = lines
+				}
+				// A directive covers its own line (trailing comment) and
+				// the next line (comment-above style) — nothing else, so
+				// one directive excuses exactly one site.
+				lines[dp.Line] = true
+				lines[dp.Line+1] = true
+			}
+		}
+	}
+	dg := p.Fset.Position(pos)
+	return p.allowed[dg.Filename][dg.Line]
+}
+
+// A Directive is a parsed //simlint:allow comment.
+type Directive struct {
+	Pos    token.Pos
+	Check  string // named check; "" for a bare directive
+	Reason string // justification text; "" when missing
+}
+
+// DirectivePrefix is the comment marker shared by all simlint directives.
+const DirectivePrefix = "//simlint:allow"
+
+// Directives returns all simlint directives in f, in source order,
+// including malformed ones (empty Check or Reason) so that the directive
+// analyzer can flag them.
+func Directives(fset *token.FileSet, f *ast.File) []Directive {
+	var ds []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			// Strip a trailing analysistest expectation ("... // want `rx`")
+			// so directives under test parse exactly like production ones.
+			if i := strings.Index(text[1:], "// want "); i >= 0 {
+				text = strings.TrimRight(text[:i+1], " \t")
+			}
+			rest, ok := strings.CutPrefix(text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			// Require an exact marker: "//simlint:allowx" is not a directive.
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			fields := strings.Fields(rest)
+			d := Directive{Pos: c.Pos()}
+			if len(fields) > 0 {
+				d.Check = fields[0]
+			}
+			if len(fields) > 1 {
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// WalkStack traverses the AST rooted at root in depth-first order, calling
+// fn for every node with the stack of its ancestors (outermost first, not
+// including n itself). If fn returns false the node's children are skipped.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,327 @@
+// Package analysistest runs a single analyzer over GOPATH-style testdata
+// packages and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which the offline build
+// cannot vendor).
+//
+// Layout: <testdata>/src/<importpath>/*.go. A file line that should
+// trigger a diagnostic carries a trailing comment of the form
+//
+//	// want `regexp`
+//
+// with one backquoted (or double-quoted) regular expression per expected
+// diagnostic on that line. Diagnostics suppressed by //simlint:allow
+// directives never reach the checker, so a line with a directive and no
+// want comment asserts the suppression works.
+//
+// Imports in testdata resolve first against sibling testdata packages
+// (type-checked from source), then against the standard library via
+// export data obtained from `go list -export`.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(dir, "testdata")
+}
+
+// Run analyzes each named testdata package with a and reports any mismatch
+// between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &tdLoader{root: filepath.Join(testdata, "src"), fset: token.NewFileSet(), pkgs: map[string]*tdPkg{}}
+	for _, path := range paths {
+		p, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", path, err)
+		}
+		var got []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     p.files,
+			Pkg:       p.pkg,
+			TypesInfo: p.info,
+			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, ld.fset, p.files, got)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string]map[int][]*expectation{} // file -> line -> pending
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment (`// want ...`) or trail
+				// other content (`//simlint:allow // want ...`), since two
+				// line comments cannot share a line.
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				rest := c.Text[i+len("// want "):]
+				line := fset.Position(c.Pos()).Line
+				exps, err := parseWants(rest)
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", fname, line, err)
+					continue
+				}
+				if wants[fname] == nil {
+					wants[fname] = map[int][]*expectation{}
+				}
+				wants[fname][line] = append(wants[fname][line], exps...)
+			}
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		var exp *expectation
+		for _, e := range wants[pos.Filename][pos.Line] {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				exp = e
+				break
+			}
+		}
+		if exp == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			continue
+		}
+		exp.matched = true
+	}
+	for fname, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q", fname, line, e.text)
+				}
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps from the text after "want".
+func parseWants(s string) ([]*expectation, error) {
+	var exps []*expectation
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated `regexp`")
+			}
+			raw, s = s[1:1+end], s[2+end:]
+		case '"':
+			q, rest, err := cutQuoted(s)
+			if err != nil {
+				return nil, err
+			}
+			raw, s = q, rest
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		exps = append(exps, &expectation{rx: rx, text: raw})
+		s = strings.TrimSpace(s)
+	}
+	return exps, nil
+}
+
+func cutQuoted(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			q, err := strconv.Unquote(s[:i+1])
+			return q, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated \"regexp\"")
+}
+
+// tdLoader type-checks testdata packages from source.
+type tdPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type tdLoader struct {
+	root    string // .../testdata/src
+	fset    *token.FileSet
+	pkgs    map[string]*tdPkg
+	loading []string
+	gcImp   types.Importer
+}
+
+func (l *tdLoader) load(path string) (*tdPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	for _, active := range l.loading {
+		if active == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// Resolve external imports through the standard library's export data.
+	var external []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !l.isLocal(p) {
+				external = append(external, p)
+			}
+		}
+	}
+	if err := ensureStdExports(external); err != nil {
+		return nil, err
+	}
+	if l.gcImp == nil {
+		l.gcImp = importer.ForCompiler(l.fset, "gc", func(p string) (io.ReadCloser, error) {
+			stdMu.Lock()
+			f, ok := stdExports[p]
+			stdMu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(f)
+		})
+	}
+
+	info := loader.NewInfo()
+	conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if l.isLocal(p) {
+			lp, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return lp.pkg, nil
+		}
+		return l.gcImp.Import(p)
+	})}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	tp := &tdPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = tp
+	return tp, nil
+}
+
+func (l *tdLoader) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdExports caches export data locations for the standard library across
+// all tests in the process.
+var (
+	stdMu      sync.Mutex
+	stdExports = map[string]string{}
+)
+
+func ensureStdExports(paths []string) error {
+	stdMu.Lock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := stdExports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	stdMu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	pkgs, err := listExports(missing)
+	if err != nil {
+		return err
+	}
+	stdMu.Lock()
+	for p, f := range pkgs {
+		stdExports[p] = f
+	}
+	stdMu.Unlock()
+	return nil
+}
+
+func listExports(patterns []string) (map[string]string, error) {
+	pkgs, err := loader.ListExports(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,73 @@
+// Package detclock forbids wall-clock time and ambient randomness in the
+// simulation domain.
+//
+// Simulated results must depend only on virtual time (sim.Time, advanced by
+// the engine) and on explicitly seeded sim.RNG streams. A single call to
+// time.Now or math/rand leaks host state into the run and breaks the
+// byte-identical-reruns contract that the determinism regression tests
+// (internal/mpi) assert.
+package detclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags wall-clock time.* calls and math/rand imports.
+var Analyzer = &analysis.Analyzer{
+	Name: "detclock",
+	Doc:  "forbid wall-clock time and math/rand in simulator packages; use sim.Time and the seeded sim.RNG",
+	Run:  run,
+}
+
+// forbiddenTime are the functions of package time that read the host clock
+// or block on it. Pure types and constants (time.Duration, time.Millisecond)
+// are tolerated: they cannot introduce nondeterminism by themselves.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+var forbiddenImports = map[string]string{
+	"math/rand":    "use an explicitly seeded sim.RNG instead",
+	"math/rand/v2": "use an explicitly seeded sim.RNG instead",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden in the simulation domain: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if forbiddenTime[fn.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; the simulation domain must use virtual time (sim.Time) only", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

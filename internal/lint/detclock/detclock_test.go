@@ -1,0 +1,11 @@
+package detclock
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestDetclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "detclock")
+}

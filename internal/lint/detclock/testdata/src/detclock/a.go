@@ -1,0 +1,25 @@
+package detclock
+
+import (
+	"math/rand" // want `import of math/rand is forbidden`
+	"time"
+)
+
+func wallClock() int64 {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	_ = time.Since(start)        // want `time\.Since reads the wall clock`
+	<-time.After(time.Second)    // want `time\.After reads the wall clock`
+	return rand.Int63()
+}
+
+func tolerated() time.Duration {
+	// Pure time types and constants cannot leak host state by themselves.
+	var d time.Duration = 3 * time.Millisecond
+	return d
+}
+
+func allowed() {
+	//simlint:allow detclock calibration harness measures host time on purpose
+	_ = time.Now()
+}

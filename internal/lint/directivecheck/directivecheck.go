@@ -1,0 +1,49 @@
+// Package directivecheck validates //simlint:allow directives themselves.
+//
+// An allow directive is an audited exception to the determinism contract,
+// so it must name the check it waives and carry a written justification:
+//
+//	//simlint:allow maporder selects the minimum id; order cannot matter
+//
+// The validator flags bare directives (no check name), directives without
+// a reason, and directives citing an unknown check. It is intentionally
+// not suppressible: scope.CheckNames does not include it, so an
+// `//simlint:allow directive ...` comment is itself an unknown-check
+// diagnostic.
+package directivecheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/scope"
+)
+
+// Analyzer flags malformed //simlint:allow directives.
+var Analyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc:  "require //simlint:allow directives to name a known check and give a reason",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Report through pass.Report, not Reportf: the validator deliberately
+	// opts out of directive suppression, so no directive can silence it.
+	report := func(d analysis.Directive, format string, args ...any) {
+		pass.Report(analysis.Diagnostic{Pos: d.Pos, Message: fmt.Sprintf(format, args...), Analyzer: pass.Analyzer})
+	}
+	for _, f := range pass.Files {
+		for _, d := range analysis.Directives(pass.Fset, f) {
+			switch {
+			case d.Check == "":
+				report(d, "bare %s directive: name a check (one of %s) and give a reason", analysis.DirectivePrefix, strings.Join(scope.CheckNames, ", "))
+			case !scope.KnownCheck(d.Check):
+				report(d, "%s names unknown check %q (known: %s)", analysis.DirectivePrefix, d.Check, strings.Join(scope.CheckNames, ", "))
+			case d.Reason == "":
+				report(d, "%s %s has no reason: justify the exception in the directive text", analysis.DirectivePrefix, d.Check)
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,11 @@
+package directivecheck
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestDirectivecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "directive")
+}

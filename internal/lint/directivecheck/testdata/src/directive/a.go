@@ -1,0 +1,18 @@
+package directive
+
+func annotated(m map[string]int) int {
+	//simlint:allow // want `bare //simlint:allow directive: name a check`
+	n := 0
+	//simlint:allow maporder // want `//simlint:allow maporder has no reason`
+	for _, v := range m {
+		n += v
+	}
+	//simlint:allow bogus the check name is misspelled // want `names unknown check "bogus"`
+	n++
+	// A well-formed directive is not a diagnostic.
+	//simlint:allow maporder integer accumulation commutes
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

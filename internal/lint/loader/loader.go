@@ -1,0 +1,202 @@
+// Package loader type-checks the module's packages for static analysis
+// without importing golang.org/x/tools/go/packages (the build is offline).
+//
+// It shells out to the go command twice:
+//
+//  1. `go list -deps -test -export -json` compiles every dependency —
+//     stdlib included — and reports the path of each package's export
+//     data file in the build cache.
+//  2. `go list -json` enumerates the target packages and their source
+//     files.
+//
+// Each target package is then parsed and type-checked from source with
+// go/types, resolving every import through the export data gathered in
+// step 1. In-package _test.go files are checked together with the package
+// proper, mirroring `go vet`. (External _test packages would need the
+// test-variant import graph; the repo has none, and the loader reports an
+// error rather than silently skipping if one appears.)
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// A Config controls loading.
+type Config struct {
+	Dir   string // directory to run the go command in; "" means cwd
+	Tests bool   // also type-check in-package _test.go files
+}
+
+type listPkg struct {
+	ImportPath    string
+	Dir           string
+	Name          string
+	Export        string
+	GoFiles       []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	Error         *struct{ Err string }
+	DepOnly       bool
+	ForTest       string
+	Incomplete    bool
+	IgnoredGoFile []string
+}
+
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matched by patterns (e.g. "./...").
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	// Pass 1: export data for every (test-)dependency, compiled on demand.
+	deps, err := goList(cfg.Dir, append([]string{"-deps", "-test", "-export", "-json=ImportPath,Export,ForTest,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range deps {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Test variants ("pkg [pkg.test]") shadow the plain package under a
+		// bracketed path; imports always resolve by the plain path.
+		if p.Export == "" || strings.Contains(p.ImportPath, " [") {
+			continue
+		}
+		exports[p.ImportPath] = p.Export
+	}
+
+	// Pass 2: the target packages and their sources.
+	targets, err := goList(cfg.Dir, append([]string{"-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,XTestGoFiles,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if cfg.Tests && len(t.XTestGoFiles) > 0 {
+			return nil, fmt.Errorf("package %s: external test package (%s) is not supported by the offline loader", t.ImportPath, t.XTestGoFiles[0])
+		}
+		names := t.GoFiles
+		if cfg.Tests {
+			names = append(names[:len(names):len(names)], t.TestGoFiles...)
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(fset, t.ImportPath, files, exports)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	return out, nil
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {
+	imp := importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		f, ok := exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(f)
+	})
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+// ListExports compiles the named packages (typically standard-library
+// import paths) and returns the export data file for each of them and
+// their dependencies.
+func ListExports(patterns []string) (map[string]string, error) {
+	pkgs, err := goList("", append([]string{"-deps", "-export", "-json=ImportPath,Export,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" && !strings.Contains(p.ImportPath, " [") {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// NewInfo returns a types.Info with all maps that analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,328 @@
+// Package maporder flags range statements over maps whose loop bodies are
+// not provably independent of Go's randomized map iteration order.
+//
+// This is the analyzer that would have caught the verbsbind pre-posting bug
+// at review time (PR 1 fixed it by hand): receive buffers were posted in
+// map order, so two runs of the same program posted them in different
+// orders and produced different traces.
+//
+// A map range is accepted without a directive only in these shapes:
+//
+//   - `for range m { ... }` — no iteration variables, so the body cannot
+//     observe an order;
+//   - collect-then-sort — the body's only effect is appending the key or
+//     value to a slice that a later statement of the same block passes to
+//     sort.* / slices.Sort*;
+//   - commutative accumulation — every statement in the body is an
+//     increment/decrement or a += -= |= &= ^= assignment to an
+//     integer-typed lvalue (possibly under `if`/`continue`). Integer
+//     addition is exactly commutative; float accumulation is excluded
+//     because rounding makes it order-dependent.
+//
+// Everything else needs sorted keys, a restructure, or an explicit
+// `//simlint:allow maporder <reason>` directive.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags order-sensitive iteration over maps.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map loops whose effects may depend on map iteration order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rng, stack) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "iteration over map %s may depend on map order; iterate sorted keys or annotate //simlint:allow maporder <reason>", render(rng.X))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func orderInsensitive(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) bool {
+	// No iteration variables: the body runs once per entry but cannot
+	// observe which entry, so no order leaks (even with an early break,
+	// all iterations are identical).
+	if rng.Key == nil && rng.Value == nil {
+		return true
+	}
+	if collectThenSort(pass, rng, stack) {
+		return true
+	}
+	return commutativeBody(pass, rng.Body.List)
+}
+
+// collectThenSort recognizes
+//
+//	for k := range m { xs = append(xs, k) }
+//	sort.Xxx(xs ...)
+//
+// where the sort call appears in a statement after the loop in the same
+// enclosing block.
+func collectThenSort(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	target, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || pass.TypesInfo.ObjectOf(arg0) != pass.TypesInfo.ObjectOf(target) {
+		return false
+	}
+	// Find the enclosing block and require a later sort of the target.
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		after := false
+		for _, st := range block.List {
+			if st == ast.Stmt(rng) {
+				after = true
+				continue
+			}
+			if after && sortsIdent(pass, st, target) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// sortsIdent reports whether st is a call like sort.Strings(x),
+// sort.Slice(x, less) or slices.Sort(x) whose first argument is target.
+func sortsIdent(pass *analysis.Pass, st ast.Stmt, target *ast.Ident) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(arg0) == pass.TypesInfo.ObjectOf(target)
+}
+
+// commutativeBody reports whether every statement only accumulates into
+// integer lvalues with commutative operators, and no right-hand side or
+// condition reads an accumulator back (n += v*n is order-dependent even
+// though it has the accumulating shape).
+func commutativeBody(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	var targets []types.Object
+	if !collectAccumTargets(pass, stmts, &targets) {
+		return false
+	}
+	return accumsClean(pass, stmts, targets)
+}
+
+// collectAccumTargets validates the statement shapes and gathers the
+// objects being accumulated into.
+func collectAccumTargets(pass *analysis.Pass, stmts []ast.Stmt, targets *[]types.Object) bool {
+	addTarget := func(lhs ast.Expr) bool {
+		root := rootIdent(lhs)
+		if root == nil || !integerTyped(pass, lhs) {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(root)
+		if obj == nil {
+			return false
+		}
+		*targets = append(*targets, obj)
+		return true
+	}
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+			if !addTarget(s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			default:
+				return false
+			}
+			if len(s.Lhs) != 1 || !addTarget(s.Lhs[0]) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				return false
+			}
+			if !collectAccumTargets(pass, s.Body.List, targets) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !collectAccumTargets(pass, e.List, targets) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !collectAccumTargets(pass, []ast.Stmt{e}, targets) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// accumsClean rejects any read of an accumulator outside its own
+// left-hand-side root: in RHS expressions, in index/selector parts of an
+// lvalue, or in an if condition.
+func accumsClean(pass *analysis.Pass, stmts []ast.Stmt, targets []types.Object) bool {
+	refs := func(e ast.Expr) int { return countRefs(pass, e, targets) }
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+			if refs(s.X) != 1 {
+				return false
+			}
+		case *ast.AssignStmt:
+			if refs(s.Lhs[0]) != 1 || refs(s.Rhs[0]) != 0 {
+				return false
+			}
+		case *ast.IfStmt:
+			if refs(s.Cond) != 0 || !accumsClean(pass, s.Body.List, targets) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !accumsClean(pass, e.List, targets) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !accumsClean(pass, []ast.Stmt{e}, targets) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// countRefs counts identifier references to any of the target objects in e.
+func countRefs(pass *analysis.Pass, e ast.Expr, targets []types.Object) int {
+	n := 0
+	ast.Inspect(e, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		for _, t := range targets {
+			if obj == t {
+				n++
+				break
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// rootIdent returns the base identifier of an lvalue (x, x.f, x[i], ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func integerTyped(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// render gives a short printable form of the ranged expression.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

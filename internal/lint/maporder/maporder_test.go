@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "maporder")
+}

@@ -1,0 +1,102 @@
+package maporder
+
+import "sort"
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m { // want `iteration over map m may depend on map order`
+		println(k, v)
+	}
+}
+
+// One directive excuses exactly one loop: the second, identical loop is
+// still flagged.
+func directiveScopesToOneSite(m map[string]int) {
+	//simlint:allow maporder demonstration loop; output order irrelevant here
+	for k := range m {
+		println(k)
+	}
+	for k := range m { // want `iteration over map m may depend on map order`
+		println(k)
+	}
+}
+
+// A reason-less directive does not suppress (and directivecheck flags it).
+func reasonlessDirectiveDoesNotSuppress(m map[string]int) {
+	//simlint:allow maporder
+	for k := range m { // want `iteration over map m may depend on map order`
+		println(k)
+	}
+}
+
+func okCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okCountOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func okIntegerAccumulation(m map[string]int) (int, uint64) {
+	sum := 0
+	var bits uint64
+	for k, v := range m {
+		if len(k) > 3 {
+			sum += v
+			continue
+		}
+		bits |= uint64(v)
+	}
+	return sum, bits
+}
+
+// Float accumulation rounds differently per order: not commutative.
+func badFloatAccumulation(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `iteration over map m may depend on map order`
+		s += v
+	}
+	return s
+}
+
+// Reading the accumulator back makes the accumulation order-dependent.
+func badSelfReferentialAccumulation(m map[string]int) int {
+	n := 1
+	for _, v := range m { // want `iteration over map m may depend on map order`
+		n += v * n
+	}
+	return n
+}
+
+// Early exit with a visible key is order-dependent.
+func badFirstKey(m map[string]int) string {
+	for k := range m { // want `iteration over map m may depend on map order`
+		return k
+	}
+	return ""
+}
+
+// Append without a following sort stays order-dependent.
+func badCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iteration over map m may depend on map order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func okSliceRange(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+// Package nogoroutine flags concurrency primitives inside the
+// single-threaded engine domain.
+//
+// The simulation engine executes exactly one cooperative process at a
+// time; determinism follows from that total order. A stray `go` statement
+// or channel operation reintroduces scheduler nondeterminism. The one
+// legitimate use is the engine's own coroutine machinery
+// (internal/sim/engine.go and proc.go), which carries
+// //simlint:allow nogoroutine directives explaining why each operation is
+// safe (every handoff is strictly rendezvous: exactly one goroutine is
+// runnable at any instant).
+package nogoroutine
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags go statements, channel operations and select statements.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc:  "flag go statements and channel operations in the single-threaded engine domain",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in the single-threaded engine domain; schedule work with Engine.Go/Engine.Schedule instead")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in the single-threaded engine domain; use sim.Queue or sim.Completion instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in the single-threaded engine domain; use sim.Queue or sim.Completion instead")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in the single-threaded engine domain; the engine dispatches events in a deterministic total order")
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in the single-threaded engine domain; use sim.Queue or sim.Completion instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,11 @@
+package nogoroutine
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestNogoroutine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "nogoroutine")
+}

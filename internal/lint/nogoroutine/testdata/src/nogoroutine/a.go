@@ -1,0 +1,32 @@
+package nogoroutine
+
+func concurrency(ch chan int) {
+	go work() // want `go statement in the single-threaded engine domain`
+	ch <- 1   // want `channel send in the single-threaded engine domain`
+	<-ch      // want `channel receive in the single-threaded engine domain`
+	select {} // want `select statement in the single-threaded engine domain`
+}
+
+func rangeOverChannel(ch chan int) int {
+	n := 0
+	for v := range ch { // want `range over channel in the single-threaded engine domain`
+		n += v
+	}
+	return n
+}
+
+func work() {}
+
+// The engine's own coroutine machinery is the one sanctioned user.
+func allowedSpawn() {
+	//simlint:allow nogoroutine each Proc needs its own stack; dispatch serializes it with the engine
+	go work()
+}
+
+func okPlainCode(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

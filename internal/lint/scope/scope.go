@@ -1,0 +1,90 @@
+// Package scope defines which packages each simlint analyzer applies to.
+// The analyzers themselves are scope-agnostic (so analysistest can exercise
+// them on arbitrary testdata packages); cmd/simlint consults this package
+// when deciding what to run where.
+package scope
+
+import "strings"
+
+// ModulePath is the import-path prefix of this repository's module.
+const ModulePath = "repro"
+
+// SimDomain lists the packages (module-relative) that form the
+// deterministic simulation domain: everything that executes under the
+// single-threaded engine and contributes to simulated results. The
+// determinism contract — virtual time only, seeded sim.RNG only, no
+// goroutines or channels, no map-iteration-order dependence — is enforced
+// here and only here; support packages (trace, metrics, stats, logp, core,
+// pci) synchronize or sort internally and are exempt.
+var SimDomain = []string{
+	"internal/sim",
+	"internal/fabric",
+	"internal/ib",
+	"internal/iwarp",
+	"internal/mx",
+	"internal/mpi",
+	"internal/mem",
+	"internal/verbs",
+	"internal/udapl",
+	"internal/tcpsim",
+	"internal/sockets",
+	"internal/cluster",
+	"internal/bench",
+}
+
+// CheckNames are the analyzer names a //simlint:allow directive may cite.
+// The directive validator itself is deliberately absent: a malformed-
+// directive diagnostic cannot be silenced by another directive.
+var CheckNames = []string{"detclock", "maporder", "nogoroutine", "timeunits", "tracekeys"}
+
+// KnownCheck reports whether name is a valid //simlint:allow check name.
+func KnownCheck(name string) bool {
+	for _, n := range CheckNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// rel strips the module prefix from an import path; ok is false for
+// packages outside the module.
+func rel(importPath string) (string, bool) {
+	if importPath == ModulePath {
+		return "", true
+	}
+	return strings.CutPrefix(importPath, ModulePath+"/")
+}
+
+// InSimDomain reports whether the package must obey the full determinism
+// contract (detclock, maporder, nogoroutine, timeunits).
+func InSimDomain(importPath string) bool {
+	p, ok := rel(importPath)
+	if !ok {
+		return false
+	}
+	for _, d := range SimDomain {
+		if p == d {
+			return true
+		}
+	}
+	return false
+}
+
+// WantsTraceKeys reports whether tracekeys applies: every module package
+// except internal/trace and internal/metrics themselves, whose internal
+// plumbing necessarily forwards names through variables.
+func WantsTraceKeys(importPath string) bool {
+	p, ok := rel(importPath)
+	if !ok {
+		return false
+	}
+	return p != "internal/trace" && p != "internal/metrics"
+}
+
+// WantsDirectiveCheck reports whether the directive validator applies
+// (every package in the module).
+func WantsDirectiveCheck(importPath string) bool {
+	_, ok := rel(importPath)
+	return ok
+}

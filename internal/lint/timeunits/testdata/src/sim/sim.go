@@ -1,0 +1,19 @@
+// Package sim is a minimal stand-in for repro/internal/sim: the analyzer
+// recognizes the named type Time of any package named "sim".
+package sim
+
+type Time int64
+
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+)
+
+func Sleep(d Time)           {}
+func After(d Time, n int)    {}
+func Between(a, b Time)      {}
+func Variadic(ds ...Time)    {}
+func TakesInt(n int)         {}
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }

@@ -1,0 +1,41 @@
+package timeunits
+
+import "sim"
+
+func rawLiterals() {
+	sim.Sleep(1500)    // want `unit-less constant passed as sim\.Time`
+	sim.Between(1, 2)  // want `unit-less constant passed as sim\.Time` `unit-less constant passed as sim\.Time`
+	sim.Variadic(7, 8) // want `unit-less constant passed as sim\.Time` `unit-less constant passed as sim\.Time`
+	_ = sim.Time(1500) // want `unit-less constant converted to sim\.Time`
+	var t sim.Time = 5 // want `unit-less constant assigned to sim\.Time`
+	t = 7              // want `unit-less constant assigned to sim\.Time`
+	t += 3             // want `unit-less constant assigned to sim\.Time`
+	_ = t + 500        // want `unit-less constant combined with sim\.Time`
+	if t > 1000 {      // want `unit-less constant combined with sim\.Time`
+		return
+	}
+}
+
+const warmup = 5 * sim.Microsecond
+
+func withUnits(n int) {
+	sim.Sleep(0) // zero is unit-free
+	sim.Sleep(3 * sim.Microsecond)
+	sim.Sleep(sim.Nanosecond)
+	sim.Sleep(warmup)
+	sim.Between(warmup, 2*warmup)
+	sim.After(40*sim.Nanosecond, 3) // the int parameter takes raw literals
+	sim.TakesInt(1500)
+	var t sim.Time
+	t = 100 * sim.Millisecond
+	if t > 2*warmup {
+		t -= sim.Microsecond
+	}
+	// A conversion used as a scale factor or divisor is a count, not a
+	// duration.
+	_ = t / sim.Time(2*8)
+	_ = sim.Time(4) * sim.Nanosecond
+	_ = sim.Micros(9.7)
+	//simlint:allow timeunits wire format field is defined in raw picoseconds
+	sim.Sleep(42)
+}

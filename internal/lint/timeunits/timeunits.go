@@ -1,0 +1,271 @@
+// Package timeunits flags raw numeric constants flowing into sim.Time
+// positions.
+//
+// sim.Time counts picoseconds. A bare `qp.Post(pr, 1500)` compiles, but
+// whether the author meant 1500 ps, ns or µs is invisible — the classic
+// off-by-10³ bug. The analyzer requires every non-zero constant reaching a
+// sim.Time context to mention a named unit constant (sim.Microsecond,
+// 40*sim.Nanosecond, a local `const hdrDelay = ...`). Zero is exempt
+// (unit-free), as are const declarations (defining a named constant IS the
+// fix — and the unit ladder in internal/sim/time.go bottoms out at
+// `Picosecond Time = 1`). Multiplication and division by plain numbers
+// stay legal: `3 * sim.Microsecond` scales a unit, it does not invent one.
+package timeunits
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags unit-less constants used as sim.Time values.
+var Analyzer = &analysis.Analyzer{
+	Name: "timeunits",
+	Doc:  "flag raw numeric constants flowing into sim.Time; require named unit constants",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n, stack)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.ValueSpec:
+				checkVarSpec(pass, n)
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.ReturnStmt:
+				checkReturn(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSimTime reports whether t is the named type Time of a package named
+// "sim" (matched by name so analysistest stubs work like the real
+// repro/internal/sim).
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// rawConstant reports whether e is a non-zero compile-time constant whose
+// expression never mentions a named constant of type sim.Time — i.e. a
+// number with no unit attached.
+func rawConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if s := tv.Value.String(); s == "0" || s == "-0" {
+		return false
+	}
+	hasUnit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok && isSimTime(c.Type()) {
+			hasUnit = true
+		}
+		return !hasUnit
+	})
+	return !hasUnit
+}
+
+func report(pass *analysis.Pass, e ast.Expr, context string) {
+	pass.Reportf(e.Pos(), "unit-less constant %s sim.Time; attach a named unit (e.g. 3*sim.Microsecond) or a named constant", context)
+}
+
+// parentNonParen returns the nearest enclosing node that is not a
+// parenthesized expression.
+func parentNonParen(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// timeConversion reports whether call is a conversion to sim.Time.
+func timeConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType() && isSimTime(tv.Type)
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if timeConversion(pass, call) {
+		// sim.Time(2*iters) as a factor or divisor is a dimensionless
+		// count forced through the type system (`rtt / sim.Time(2*iters)`),
+		// not a duration — multiplicative context stays legal.
+		if b, ok := parentNonParen(stack).(*ast.BinaryExpr); ok && (b.Op == token.MUL || b.Op == token.QUO || b.Op == token.REM) {
+			return
+		}
+		if len(call.Args) == 1 && rawConstant(pass, call.Args[0]) {
+			report(pass, call.Args[0], "converted to")
+		}
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case params.Len() > 0:
+			pt = params.At(params.Len() - 1).Type()
+			if sl, ok := pt.(*types.Slice); ok && i >= params.Len()-1 {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !isSimTime(pt) {
+			continue
+		}
+		// A conversion argument is reported (once) by the conversion case.
+		if c, ok := arg.(*ast.CallExpr); ok && timeConversion(pass, c) {
+			continue
+		}
+		if rawConstant(pass, arg) {
+			report(pass, arg, "passed as")
+		}
+	}
+}
+
+func checkAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
+	switch asg.Tok {
+	case token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return // :=, *=, /= etc. never attach implicit units
+	}
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		t := pass.TypeOf(lhs)
+		if t == nil || !isSimTime(t) {
+			continue
+		}
+		if c, ok := asg.Rhs[i].(*ast.CallExpr); ok && timeConversion(pass, c) {
+			continue
+		}
+		if rawConstant(pass, asg.Rhs[i]) {
+			report(pass, asg.Rhs[i], "assigned to")
+		}
+	}
+}
+
+// checkVarSpec flags `var t sim.Time = 5`. Constant declarations are
+// exempt: naming the value is exactly the remedy the analyzer demands.
+func checkVarSpec(pass *analysis.Pass, spec *ast.ValueSpec) {
+	if len(spec.Names) == 0 {
+		return
+	}
+	if _, isVar := pass.TypesInfo.Defs[spec.Names[0]].(*types.Var); !isVar {
+		return
+	}
+	for i, name := range spec.Names {
+		if i >= len(spec.Values) {
+			break
+		}
+		t := pass.TypeOf(name)
+		if t == nil || !isSimTime(t) {
+			continue
+		}
+		if c, ok := spec.Values[i].(*ast.CallExpr); ok && timeConversion(pass, c) {
+			continue
+		}
+		if rawConstant(pass, spec.Values[i]) {
+			report(pass, spec.Values[i], "assigned to")
+		}
+	}
+}
+
+// checkBinary flags additive and comparison operators mixing a sim.Time
+// operand with a unit-less constant: `t + 500`, `elapsed > 1000`.
+// Multiplicative operators scale by dimensionless factors and are legal.
+func checkBinary(pass *analysis.Pass, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	check := func(side, other ast.Expr) {
+		t := pass.TypeOf(other)
+		if t == nil || !isSimTime(t) {
+			return
+		}
+		if c, ok := side.(*ast.CallExpr); ok && timeConversion(pass, c) {
+			return
+		}
+		if rawConstant(pass, side) {
+			report(pass, side, "combined with")
+		}
+	}
+	check(b.X, b.Y)
+	check(b.Y, b.X)
+}
+
+func checkReturn(pass *analysis.Pass, ret *ast.ReturnStmt, stack []ast.Node) {
+	var ftype *ast.FuncType
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			ftype = fn.Type
+		case *ast.FuncLit:
+			ftype = fn.Type
+		}
+		if ftype != nil {
+			break
+		}
+	}
+	if ftype == nil || ftype.Results == nil {
+		return
+	}
+	var results []ast.Expr = ret.Results
+	if len(results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range ftype.Results.List {
+		t := pass.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(results) != len(resultTypes) {
+		return // `return f()` forwarding; nothing constant to check
+	}
+	for i, r := range results {
+		if resultTypes[i] == nil || !isSimTime(resultTypes[i]) {
+			continue
+		}
+		if c, ok := r.(*ast.CallExpr); ok && timeConversion(pass, c) {
+			continue
+		}
+		if rawConstant(pass, r) {
+			report(pass, r, "returned as")
+		}
+	}
+}

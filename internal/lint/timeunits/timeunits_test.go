@@ -1,0 +1,11 @@
+package timeunits
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestTimeunits(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "timeunits")
+}

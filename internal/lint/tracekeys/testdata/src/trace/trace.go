@@ -1,0 +1,15 @@
+// Package trace is a minimal stand-in for repro/internal/trace: the analyzer
+// matches call targets by package name.
+package trace
+
+type Attr struct{ K, V string }
+
+func Str(key, val string) Attr { return Attr{key, val} }
+
+type Span struct{}
+
+func Instant(who, name string, attrs ...Attr) {}
+
+func Begin(name string) Span { return Span{} }
+
+func (Span) End() {}

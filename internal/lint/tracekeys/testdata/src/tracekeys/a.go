@@ -1,0 +1,27 @@
+package tracekeys
+
+import (
+	"fmt"
+	"metrics"
+	"trace"
+)
+
+const evSend = "mpi.send"
+
+func record(reg *metrics.Registry, who string, rank int) {
+	trace.Instant(who, evSend)
+	trace.Instant(who, "mpi.recv", trace.Str("peer", who))
+	trace.Begin("bench.window").End()
+	reg.Counter("fabric.drops").Add(1)
+
+	trace.Instant(who, fmt.Sprintf("mpi.rank%d", rank))  // want `non-constant name argument to trace\.Instant`
+	trace.Instant(who, who)                              // want `non-constant name argument to trace\.Instant`
+	trace.Instant(who, evSend, trace.Str(who, "x"))      // want `non-constant key argument to trace\.Str`
+	reg.Gauge(fmt.Sprintf("port%d.util", rank)).Set(0.5) // want `non-constant name argument to metrics\.Gauge`
+	reg.Counter("queue." + suffix()).Add(1)              // want `non-constant name argument to metrics\.Counter`
+
+	//simlint:allow tracekeys per-rank series; cardinality is bounded by the cluster size
+	reg.Counter(fmt.Sprintf("rank%d.bytes", rank)).Add(64)
+}
+
+func suffix() string { return "depth" }

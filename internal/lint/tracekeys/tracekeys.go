@@ -1,0 +1,86 @@
+// Package tracekeys requires compile-time-constant name/key strings in
+// trace and metrics record calls.
+//
+// The tracer's zero-cost-when-disabled guarantee (TestTraceOverhead) holds
+// only if call sites do no work before the nil check inside the record
+// call. A dynamically built name — fmt.Sprintf, concatenation with a
+// variable — allocates whether or not tracing is on, and also defeats
+// instrument caching in the metrics registry. The analyzer therefore
+// requires every parameter named "name" or "key" of a function in a
+// package named trace or metrics to receive an untyped or typed string
+// constant.
+//
+// Genuinely dynamic names (per-port gauges, the legacy free-form debug
+// hook) carry //simlint:allow tracekeys directives with the justification
+// spelled out at the call site.
+package tracekeys
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags non-constant trace/metrics name arguments.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracekeys",
+	Doc:  "require constant string names in trace/metrics record calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if n := pass.Pkg.Name(); n == "trace" || n == "metrics" {
+		return nil, nil // the packages' own plumbing forwards names through variables
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if pn := fn.Pkg().Name(); pn != "trace" && pn != "metrics" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			params := sig.Params()
+			for i := 0; i < params.Len() && i < len(call.Args); i++ {
+				p := params.At(i)
+				if p.Name() != "name" && p.Name() != "key" {
+					continue
+				}
+				if b, ok := p.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+					continue
+				}
+				if tv, ok := pass.TypesInfo.Types[call.Args[i]]; ok && tv.Value != nil {
+					continue
+				}
+				pass.Reportf(call.Args[i].Pos(), "non-constant %s argument to %s.%s breaks the zero-alloc-when-disabled guarantee; use a constant or annotate //simlint:allow tracekeys <reason>", p.Name(), fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// callee resolves the called function or method, if statically known.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package tracekeys
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestTracekeys(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "tracekeys")
+}

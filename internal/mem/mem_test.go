@@ -325,7 +325,7 @@ func TestCopyCostMonotone(t *testing.T) {
 	_, m := newMem(t)
 	m.WarmPages = 0 // isolate the bandwidth term
 	a, b := m.Alloc(1<<20), m.Alloc(1<<20)
-	prev := sim.Time(-1)
+	prev := -sim.Picosecond // below any real cost
 	for _, n := range []int{1, 64, 4096, 65536, 1 << 20} {
 		c := m.CopyCost(a, 0, b, 0, n)
 		if c <= prev {

@@ -260,8 +260,8 @@ func TestMPILatencyCalibration(t *testing.T) {
 		cluster.MXoM:  3.3,
 		cluster.MXoE:  3.6,
 	}
-	for kind, target := range want {
-		kind, target := kind, target
+	for _, kind := range cluster.Kinds {
+		kind, target := kind, want[kind]
 		t.Run(kind.String(), func(t *testing.T) {
 			const iters = 50
 			var lat sim.Time

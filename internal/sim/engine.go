@@ -129,7 +129,7 @@ func (e *Engine) Trace(who, format string, args ...any) {
 	if e.Tracer != nil {
 		e.Tracer(e.now, who, msg)
 	}
-	e.trc.Instant(who, msg)
+	e.trc.Instant(who, msg) //simlint:allow tracekeys legacy free-form debug hook; the Enabled/Tracer guard above keeps the disabled path allocation-free
 }
 
 // Schedule arranges for fn to run at now+after. A negative delay is treated
@@ -242,6 +242,7 @@ func (e *Engine) Close() {
 	// recover in the proc trampoline swallows it.
 	for len(e.procs) > 0 {
 		var p *Proc
+		//simlint:allow maporder selects the minimum proc id; the choice is independent of iteration order
 		for q := range e.procs {
 			if p == nil || q.id < p.id {
 				p = q // deterministic order
@@ -261,8 +262,8 @@ func (e *Engine) dispatch(p *Proc) {
 	prev := e.current
 	e.current = p
 	e.cUnparked.Inc()
-	p.resume <- struct{}{}
-	<-p.yielded
+	p.resume <- struct{}{} //simlint:allow nogoroutine engine-side half of the coroutine rendezvous; exactly one goroutine is runnable at any instant
+	<-p.yielded            //simlint:allow nogoroutine blocks the engine until the proc parks again, preserving the single-threaded total order
 	e.current = prev
 	if p.dead {
 		delete(e.procs, p)
@@ -282,8 +283,9 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	}
 	e.procs[p] = struct{}{}
 	e.cProcs.Inc()
+	//simlint:allow nogoroutine the one legitimate spawn: each Proc needs its own stack, and the rendezvous in dispatch serializes it with the engine
 	go func() {
-		<-p.resume
+		<-p.resume //simlint:allow nogoroutine proc-side half of the coroutine rendezvous; parked until the engine dispatches it
 		func() {
 			defer func() {
 				if r := recover(); r != nil && r != errProcKilled {
@@ -298,7 +300,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		if p.done != nil {
 			p.done.fire()
 		}
-		p.yielded <- struct{}{}
+		p.yielded <- struct{}{} //simlint:allow nogoroutine final yield back to the engine when the proc body returns
 	}()
 	e.Schedule(0, func() { e.dispatch(p) })
 	return p

@@ -46,8 +46,8 @@ func (p *Proc) Done() *Completion {
 // Resource.Release or Engine.Close).
 func (p *Proc) park() {
 	p.e.cParked.Inc()
-	p.yielded <- struct{}{}
-	<-p.resume
+	p.yielded <- struct{}{} //simlint:allow nogoroutine proc-side yield of the coroutine rendezvous; hands control back to dispatch
+	<-p.resume              //simlint:allow nogoroutine parks until dispatch resumes this proc; never concurrent with the engine
 	if p.killed {
 		panic(errProcKilled)
 	}

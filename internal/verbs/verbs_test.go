@@ -7,16 +7,19 @@ import (
 )
 
 func TestOpStrings(t *testing.T) {
-	cases := map[Op]string{
-		OpSend:  "SEND",
-		OpRecv:  "RECV",
-		OpWrite: "RDMA_WRITE",
-		OpRead:  "RDMA_READ",
-		Op(42):  "UNKNOWN",
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{OpSend, "SEND"},
+		{OpRecv, "RECV"},
+		{OpWrite, "RDMA_WRITE"},
+		{OpRead, "RDMA_READ"},
+		{Op(42), "UNKNOWN"},
 	}
-	for op, want := range cases {
-		if got := op.String(); got != want {
-			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.op), got, c.want)
 		}
 	}
 }
