@@ -33,11 +33,14 @@ race:
 traceguard:
 	$(GO) test -run TestTraceOverhead ./internal/trace/...
 
-verify: build test vet lint race traceguard
+verify: build test vet lint race traceguard calibrate
 
 figures:
 	$(GO) run ./cmd/figures
 
+# The 20 paper anchors double as the regression net for every model change:
+# calibrate exits non-zero when any headline number drifts outside its
+# tolerance, so it is part of the tier-1 gate.
 calibrate:
 	$(GO) run ./cmd/calibrate
 

@@ -19,14 +19,14 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1..fig8)")
+	only := flag.String("only", "", "run a single experiment (fig1..fig8, appx, faults, ext)")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	scale := flag.Int("scale", 1, "sweep thinning factor (1 = full paper sweeps)")
 	flag.Parse()
 
 	if *only != "" {
 		if _, ok := core.Find(*only); !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8, appx, faults, ext\n", *only)
 			os.Exit(2)
 		}
 	}

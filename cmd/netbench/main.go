@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/logp"
 )
 
@@ -36,6 +37,7 @@ func main() {
 	traceJSONL := flag.String("tracejsonl", "", "write the trace as JSON lines with raw picosecond timestamps")
 	traceCap := flag.Int("tracecap", 0, "trace buffer capacity in events (0 = default)")
 	metricsFlag := flag.Bool("metrics", false, "dump the metrics registry as JSON to stdout after the test")
+	faultsFile := flag.String("faults", "", "apply a fault scenario (JSON, see docs/faults.md) to every testbed the test builds")
 	flag.Parse()
 
 	kind, ok := parseKind(*netName)
@@ -44,15 +46,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	var scenario *faults.Scenario
+	if *faultsFile != "" {
+		sc, err := faults.Load(*faultsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
+			os.Exit(2)
+		}
+		scenario = sc
+	}
+
 	var lastTB *cluster.Testbed
-	if *traceFile != "" || *traceJSONL != "" || *metricsFlag {
+	if *traceFile != "" || *traceJSONL != "" || *metricsFlag || scenario != nil {
 		cluster.OnNew = func(tb *cluster.Testbed) {
 			lastTB = tb
 			if *traceFile != "" || *traceJSONL != "" {
 				tb.Eng.StartTrace(*traceCap)
 			}
+			if scenario != nil {
+				if _, err := tb.ApplyFaults(scenario); err != nil {
+					fmt.Fprintf(os.Stderr, "netbench: applying faults: %v\n", err)
+					os.Exit(2)
+				}
+			}
 		}
-		defer dumpObservability(&lastTB, *traceFile, *traceJSONL, *metricsFlag)
+		if *traceFile != "" || *traceJSONL != "" || *metricsFlag {
+			defer dumpObservability(&lastTB, *traceFile, *traceJSONL, *metricsFlag)
+		}
 	}
 
 	switch *test {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 )
@@ -129,8 +130,17 @@ func ProgressRatio(kind cluster.Kind, n int, iters int) float64 {
 // observed across senders, which grows as the root's NIC and MPI engine
 // congest.
 func HotspotLatency(kind cluster.Kind, senders, n, iters int) sim.Time {
+	return hotspotLatency(kind, senders, n, iters, nil)
+}
+
+// hotspotLatency is HotspotLatency with a fault scenario applied after
+// world init, its windows re-anchored at the workload start (see
+// faults.Scenario.ShiftedBy — the verbs worlds consume virtual time
+// setting up their QP mesh).
+func hotspotLatency(kind cluster.Kind, senders, n, iters int, sc *faults.Scenario) sim.Time {
 	tb, w := mpi.DefaultWorld(kind, senders+1)
 	defer tb.Close()
+	tb.MustApplyFaults(sc.ShiftedBy(tb.Eng.Now()))
 	var total sim.Time
 	for r := 1; r <= senders; r++ {
 		r := r

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/ib"
 	"repro/internal/iwarp"
 	"repro/internal/mem"
@@ -217,6 +218,34 @@ func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
 
 // Close shuts the engine down, unwinding NIC processes.
 func (tb *Testbed) Close() { tb.Eng.Close() }
+
+// ApplyFaults compiles a fault scenario against this testbed's fabric and
+// NICs (see internal/faults). Host i's NIC backs port i; MX endpoints have
+// no stallable protocol engine, so nic-stall clauses aimed at them are
+// rejected by faults.Attach. A nil or empty scenario attaches nothing and
+// returns nil, keeping the run bit-identical to an un-faulted testbed.
+func (tb *Testbed) ApplyFaults(sc *faults.Scenario) (*faults.Injector, error) {
+	nics := make([]faults.EngineStaller, len(tb.Hosts))
+	for i, h := range tb.Hosts {
+		switch {
+		case h.RNIC != nil:
+			nics[i] = h.RNIC
+		case h.HCA != nil:
+			nics[i] = h.HCA
+		}
+	}
+	return faults.Attach(tb.Fabric, nics, sc)
+}
+
+// MustApplyFaults is ApplyFaults for static scenarios known to be valid
+// (benchmark drivers, tests); it panics on scenario errors.
+func (tb *Testbed) MustApplyFaults(sc *faults.Scenario) *faults.Injector {
+	inj, err := tb.ApplyFaults(sc)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	return inj
+}
 
 // ConnectQP establishes a verbs QP pair between hosts i and j. Panics for
 // MX testbeds (MX is connectionless; use the endpoints directly).

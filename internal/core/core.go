@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/logp"
+	"repro/internal/sim"
 )
 
 // Experiment is one table/figure of the paper.
@@ -185,6 +186,27 @@ func Experiments() []Experiment {
 					bench.AppxOverlap(sizes),
 					bench.AppxProgress(thin([]int{32 << 10, 128 << 10, 512 << 10}, scale)),
 					bench.AppxHotspot(thin([]int{1 << 10, 16 << 10, 256 << 10}, scale)),
+				}
+			},
+		},
+		{
+			ID:    "faults",
+			Title: "Degraded-mode operation: frame loss, link flaps and incast congestion (fault-injection extension)",
+			Paper: "beyond the paper's pristine testbed (Section 7 names applications as future work): the lossless fabrics " +
+				"(IB, Myrinet) backpressure through faults while the Ethernet stacks lean on the offloaded TCP, so loss and " +
+				"flaps cost iWARP retransmission timeouts where IB and MX only pay the outage itself",
+			Run: func(scale int) []bench.Figure {
+				rates := []float64{0, 0.001, 0.01, 0.05}
+				durations := []sim.Time{100 * sim.Microsecond, 500 * sim.Microsecond, sim.Millisecond}
+				if scale > 1 {
+					rates = []float64{0, 0.01}
+					durations = []sim.Time{100 * sim.Microsecond, sim.Millisecond}
+				}
+				return []bench.Figure{
+					bench.FaultsFig1Latency(rates),
+					bench.FaultsFig4Bandwidth(rates),
+					bench.FaultsFlapRecovery(durations),
+					bench.FaultsIncast(thin([]int{1 << 10, 16 << 10, 256 << 10}, scale)),
 				}
 			},
 		},

@@ -29,6 +29,13 @@ type Frame struct {
 	Src, Dst NodeID
 	Bytes    int
 	Payload  any
+
+	// Corrupt marks the frame's payload as damaged on the wire. The fabric
+	// still delivers it (the bits arrive, they are just wrong); the endpoint
+	// decides what its protocol does about it — the iWARP RNIC burns receive
+	// engine time and rejects the FPDU on the MPA CRC, leaving recovery to
+	// the offloaded TCP. Injectors (internal/faults) set it from DropFn.
+	Corrupt bool
 }
 
 // Endpoint receives frames. Deliver is called in engine context (from a
@@ -55,6 +62,31 @@ type line struct {
 	busy     sim.Time // cumulative occupied time
 	frames   int64
 	bytes    int64
+
+	// slow, when non-zero, scales the line's effective rate (0 < slow <= 1):
+	// a degraded link serializes every frame at slow * LinkRate. Zero means
+	// the line runs at full configured rate with bit-identical arithmetic to
+	// a build without fault injection.
+	slow float64
+}
+
+// stall pushes the line's next-free time out to `until`, without accounting
+// any busy time or frames: the link is unavailable (down, or occupied by
+// cross-traffic the simulation does not model frame-by-frame).
+func (l *line) stall(until sim.Time) {
+	if until > l.nextFree {
+		l.nextFree = until
+	}
+}
+
+// txTime returns the serialization time of `bytes` on this line at the
+// configured rate, honoring a degraded-rate factor when one is set. The
+// slow == 0 path is byte-for-byte the pre-fault-injection arithmetic.
+func (l *line) txTime(rate sim.Rate, bytes int) sim.Time {
+	if l.slow != 0 {
+		rate = sim.Rate(float64(rate) * l.slow)
+	}
+	return rate.TxTime(bytes)
 }
 
 // reserve books the line for dur starting no earlier than earliest and
@@ -94,8 +126,11 @@ type Network struct {
 	ports []*Port
 
 	// DropFn, if non-nil, is consulted for every frame after the source
-	// serializes it; returning true silently drops the frame. Used to test
-	// the reliable transports above the fabric.
+	// serializes it; returning true silently drops the frame. It is the
+	// single frame-level attachment point for loss and corruption injection:
+	// internal/faults compiles scenarios into one DropFn closure (which may
+	// also mark frames Corrupt and return false), and tests of the reliable
+	// transports above the fabric attach through the same hook.
 	DropFn func(f *Frame) bool
 
 	delivered int64
@@ -149,6 +184,14 @@ func (n *Network) Attach(ep Endpoint) *Port {
 // Ports returns the number of attached ports.
 func (n *Network) Ports() int { return len(n.ports) }
 
+// Port returns the attachment point with the given node ID.
+func (n *Network) Port(id NodeID) *Port {
+	if int(id) < 0 || int(id) >= len(n.ports) {
+		panic(fmt.Sprintf("fabric %q: no port %d", n.cfg.Name, id))
+	}
+	return n.ports[id]
+}
+
 // Delivered returns the count of frames delivered to endpoints.
 func (n *Network) Delivered() int64 { return n.delivered }
 
@@ -175,7 +218,7 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	}
 	now := n.eng.Now()
 	wire := f.Bytes + n.cfg.FrameOverhead
-	dur := n.cfg.LinkRate.TxTime(wire)
+	dur := p.up.txTime(n.cfg.LinkRate, wire)
 	txStart, txEnd := p.up.reserve(now, dur, wire)
 
 	n.cFrames.Inc()
@@ -197,7 +240,7 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	// When does the switch have enough of the frame to forward it?
 	var ready sim.Time
 	if n.cfg.CutThrough {
-		hdr := n.cfg.LinkRate.TxTime(min(wire, n.cfg.HeaderBytes))
+		hdr := p.up.txTime(n.cfg.LinkRate, min(wire, n.cfg.HeaderBytes))
 		ready = txStart + hdr + n.cfg.PropDelay + n.cfg.SwitchLatency
 	} else {
 		ready = txEnd + n.cfg.PropDelay + n.cfg.SwitchLatency
@@ -206,8 +249,12 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	dst := n.ports[f.Dst]
 	// Cut-through egress cannot finish before the tail of the frame has
 	// arrived at the switch; serializing the full frame from `ready` already
-	// guarantees that because ingress and egress rates are equal.
-	egStart, egEnd := dst.dn.reserve(ready, dur, wire)
+	// guarantees that because ingress and egress rates are equal. (A
+	// degraded egress line serializes slower than ingress, which only
+	// strengthens the guarantee; a degraded ingress line can let egress
+	// finish early — acceptable for the coarse-grained degradation model.)
+	egDur := dst.dn.txTime(n.cfg.LinkRate, wire)
+	egStart, egEnd := dst.dn.reserve(ready, egDur, wire)
 	n.hEgQueue.Observe(float64(egStart - ready))
 	if tr.Enabled() {
 		tr.Complete(dst.dnTrack, "tx", int64(egStart), int64(egEnd),
@@ -244,6 +291,33 @@ func (n *Network) PublishLinkMetrics() {
 		reg.Gauge(fmt.Sprintf("fabric.port%d.up_util_bp", p.id)).Set(upUtil)   //simlint:allow tracekeys per-port gauge name; see comment above
 		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_util_bp", p.id)).Set(dnUtil)   //simlint:allow tracekeys per-port gauge name; see comment above
 	}
+}
+
+// StallUp makes the endpoint->switch link unavailable until the given
+// absolute virtual time: frames already serializing finish, every later
+// frame queues behind the stall. Fault injectors use it for link-down
+// windows on lossless fabrics (link-level flow control pauses the sender
+// rather than losing frames) and the endpoint side of full link flaps.
+func (p *Port) StallUp(until sim.Time) { p.up.stall(until) }
+
+// StallDown makes the switch->endpoint link unavailable until the given
+// absolute virtual time. Besides link flaps, fault injectors use repeated
+// short down-stalls to model output-port congestion: cross-traffic from
+// unmodeled senders occupying a share of the egress link.
+func (p *Port) StallDown(until sim.Time) { p.dn.stall(until) }
+
+// SetSlowdown degrades (or, with factor 0 or 1, restores) the port's link
+// rate in both directions: every frame serializes at factor * LinkRate.
+// Factor must be in (0, 1] or 0 to clear.
+func (p *Port) SetSlowdown(factor float64) {
+	if factor < 0 || factor > 1 {
+		panic(fmt.Sprintf("fabric %q: slowdown factor %v", p.net.cfg.Name, factor))
+	}
+	if factor == 1 {
+		factor = 0 // full rate: restore the exact baseline arithmetic
+	}
+	p.up.slow = factor
+	p.dn.slow = factor
 }
 
 // UpLinkStats returns frames and bytes sent from the endpoint into the

@@ -1,0 +1,373 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// EngineStaller is implemented by NIC models whose protocol engine can be
+// frozen for a stretch of virtual time (the iWARP RNIC and the IB HCA; the
+// MX endpoint model has no modeled engine occupancy to stall).
+type EngineStaller interface {
+	// StallEngines makes the NIC's protocol engine(s) unavailable for d
+	// virtual time starting now. In-flight work finishes; new work waits.
+	StallEngines(d sim.Time)
+}
+
+// defaultCongestPeriod is the tick granularity of congestion clauses that
+// do not set one: short enough to interleave with MTU-sized frames, long
+// enough to keep the event count modest.
+const defaultCongestPeriod = 10 * sim.Microsecond
+
+// frameClause is one compiled frame-level clause (loss, burst-loss,
+// corrupt, drop-mode flap) with its private RNG and burst state.
+type frameClause struct {
+	cl  Clause
+	rng *sim.RNG
+	bad bool // Gilbert–Elliott state: true while in the bursty bad state
+}
+
+// activeAt reports whether the clause window covers virtual time t.
+func (fc *frameClause) activeAt(t sim.Time) bool {
+	return t >= fc.cl.From.T() && (fc.cl.Until == 0 || t < fc.cl.Until.T())
+}
+
+// matches reports whether the clause scopes onto frame f.
+func (fc *frameClause) matches(f *fabric.Frame) bool {
+	if fc.cl.Kind == KindFlap {
+		// A downed link loses traffic in both directions through the port.
+		return fc.cl.Port == -1 || int(f.Src) == fc.cl.Port || int(f.Dst) == fc.cl.Port
+	}
+	return (fc.cl.Src == -1 || int(f.Src) == fc.cl.Src) &&
+		(fc.cl.Dst == -1 || int(f.Dst) == fc.cl.Dst)
+}
+
+// Injector is a compiled scenario attached to a network. It owns the
+// DropFn chain link for frame-level clauses and the scheduled events that
+// drive link and NIC clauses.
+type Injector struct {
+	eng   *sim.Engine
+	net   *fabric.Network
+	sc    *Scenario
+	frame []*frameClause
+
+	dropped, corrupted int64
+
+	cDropped, cCorrupted, cFlaps, cCongest, cNICStalls, cRateChanges *metrics.Counter
+}
+
+// Attach compiles the scenario and hooks it into the network (and, for
+// nic-stall clauses, the per-port NIC engine models: nics[i] belongs to
+// node i; nil entries mark hosts whose NIC cannot stall). A nil or empty
+// scenario attaches nothing at all — no DropFn, no events, no metric
+// registrations — so the run stays bit-identical to an un-faulted build;
+// Attach then returns (nil, nil), and every Injector method is nil-safe.
+func Attach(net *fabric.Network, nics []EngineStaller, sc *Scenario) (*Injector, error) {
+	if sc.Empty() {
+		return nil, nil
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	eng := net.Engine()
+	inj := &Injector{eng: eng, net: net, sc: sc}
+	reg := eng.Metrics()
+	inj.cDropped = reg.Counter("faults.frames_dropped")
+	inj.cCorrupted = reg.Counter("faults.frames_corrupted")
+	inj.cFlaps = reg.Counter("faults.link_flaps")
+	inj.cCongest = reg.Counter("faults.congest_stalls")
+	inj.cNICStalls = reg.Counter("faults.nic_stalls")
+	inj.cRateChanges = reg.Counter("faults.rate_changes")
+
+	for i, cl := range sc.Clauses {
+		if err := inj.checkScope(i, cl, nics); err != nil {
+			return nil, err
+		}
+		switch cl.Kind {
+		case KindLoss, KindBurstLoss, KindCorrupt:
+			inj.frame = append(inj.frame, &frameClause{cl: cl, rng: clauseRNG(sc.Seed, i)})
+		case KindFlap:
+			if cl.Drop {
+				inj.frame = append(inj.frame, &frameClause{cl: cl, rng: clauseRNG(sc.Seed, i)})
+			} else {
+				inj.scheduleFlap(cl)
+			}
+			inj.scheduleFlapMarks(cl)
+		case KindRate:
+			inj.scheduleRate(cl)
+		case KindCongest:
+			inj.scheduleCongest(cl)
+		case KindNICStall:
+			inj.scheduleNICStall(cl, nics)
+		}
+	}
+	if len(inj.frame) > 0 {
+		prev := net.DropFn
+		net.DropFn = func(f *fabric.Frame) bool {
+			if prev != nil && prev(f) {
+				return true
+			}
+			return inj.filter(f)
+		}
+	}
+	return inj, nil
+}
+
+// clauseRNG derives an independent deterministic stream per clause: the
+// scenario seed mixed with the clause index through the SplitMix64 golden
+// increment, so reordering unrelated clauses never correlates their draws.
+func clauseRNG(seed uint64, i int) *sim.RNG {
+	return sim.NewRNG(seed + 0x9E3779B97F4A7C15*uint64(i+1))
+}
+
+// checkScope validates the clause's port references against the attached
+// network and NIC list (the part of validation Validate cannot do).
+func (inj *Injector) checkScope(i int, cl Clause, nics []EngineStaller) error {
+	nPorts := inj.net.Ports()
+	checkPort := func(name string, v int) error {
+		if v != -1 && (v < 0 || v >= nPorts) {
+			return fmt.Errorf("faults: clause %d (%s): %s %d outside the %d-port network", i, cl.Kind, name, v, nPorts)
+		}
+		return nil
+	}
+	if err := checkPort("src", cl.Src); err != nil {
+		return err
+	}
+	if err := checkPort("dst", cl.Dst); err != nil {
+		return err
+	}
+	if err := checkPort("port", cl.Port); err != nil {
+		return err
+	}
+	if cl.Kind == KindNICStall {
+		if cl.Port == -1 {
+			for _, s := range nics {
+				if s != nil {
+					return nil
+				}
+			}
+			return fmt.Errorf("faults: clause %d (nic-stall): no stallable NIC attached", i)
+		}
+		if cl.Port >= len(nics) || nics[cl.Port] == nil {
+			return fmt.Errorf("faults: clause %d (nic-stall): host %d has no stallable NIC engine", i, cl.Port)
+		}
+	}
+	return nil
+}
+
+// targetPorts resolves a clause's Port field to concrete attachment points.
+func (inj *Injector) targetPorts(port int) []*fabric.Port {
+	if port != -1 {
+		return []*fabric.Port{inj.net.Port(fabric.NodeID(port))}
+	}
+	ports := make([]*fabric.Port, inj.net.Ports())
+	for i := range ports {
+		ports[i] = inj.net.Port(fabric.NodeID(i))
+	}
+	return ports
+}
+
+// startAt clamps a clause timestamp to the current virtual time, so
+// scenarios attached mid-run begin immediately rather than panicking on a
+// past timestamp.
+func (inj *Injector) startAt(d Duration) sim.Time {
+	if t := d.T(); t > inj.eng.Now() {
+		return t
+	}
+	return inj.eng.Now()
+}
+
+// scheduleFlap arranges a stall-mode flap: at From, both directions of the
+// target link(s) become unavailable until Until. Lossless fabrics see this
+// as link-level flow control holding the sender off; nothing is lost.
+func (inj *Injector) scheduleFlap(cl Clause) {
+	ports := inj.targetPorts(cl.Port)
+	until := cl.Until.T()
+	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+		for _, p := range ports {
+			p.StallUp(until)
+			p.StallDown(until)
+		}
+	})
+}
+
+// scheduleFlapMarks emits the link-down / link-up trace instants and the
+// flap counter for both flap modes.
+func (inj *Injector) scheduleFlapMarks(cl Clause) {
+	port := int64(cl.Port)
+	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+		inj.cFlaps.Inc()
+		inj.eng.Trc().Instant("faults", "link-down", trace.I64("port", port), trace.Bool("drop", cl.Drop))
+	})
+	inj.eng.ScheduleAt(inj.startAt(cl.Until), func() {
+		inj.eng.Trc().Instant("faults", "link-up", trace.I64("port", port))
+	})
+}
+
+// scheduleRate degrades the target link(s) to cl.Rate of the configured
+// line rate at From and restores full rate at Until (when closed).
+func (inj *Injector) scheduleRate(cl Clause) {
+	ports := inj.targetPorts(cl.Port)
+	factor := cl.Rate
+	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+		for _, p := range ports {
+			p.SetSlowdown(factor)
+		}
+		inj.cRateChanges.Inc()
+		inj.eng.Trc().Instant("faults", "rate-degrade", trace.I64("port", int64(cl.Port)), trace.F64("factor", factor))
+	})
+	if cl.Until != 0 {
+		inj.eng.ScheduleAt(inj.startAt(cl.Until), func() {
+			for _, p := range ports {
+				p.SetSlowdown(1)
+			}
+			inj.cRateChanges.Inc()
+			inj.eng.Trc().Instant("faults", "rate-restore", trace.I64("port", int64(cl.Port)))
+		})
+	}
+}
+
+// scheduleCongest ticks every Period during the window, occupying
+// share*Period of the switch egress link toward the target port(s) — the
+// backpressure signature of cross-traffic the simulation does not model
+// frame-by-frame.
+func (inj *Injector) scheduleCongest(cl Clause) {
+	ports := inj.targetPorts(cl.Port)
+	period := cl.Period.T()
+	if period == 0 {
+		period = defaultCongestPeriod
+	}
+	occupy := sim.Time(float64(period) * cl.Rate)
+	until := cl.Until.T()
+	var tick func()
+	tick = func() {
+		now := inj.eng.Now()
+		for _, p := range ports {
+			p.StallDown(now + occupy)
+		}
+		inj.cCongest.Inc()
+		if next := now + period; next < until {
+			inj.eng.ScheduleAt(next, tick)
+		} else {
+			inj.eng.Trc().Instant("faults", "congest-end", trace.I64("port", int64(cl.Port)))
+		}
+	}
+	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+		inj.eng.Trc().Instant("faults", "congest-begin", trace.I64("port", int64(cl.Port)), trace.F64("share", cl.Rate))
+		tick()
+	})
+}
+
+// scheduleNICStall freezes the target NIC engine(s) for Stall every Period
+// during the window; with Period zero it fires exactly once at From.
+func (inj *Injector) scheduleNICStall(cl Clause, nics []EngineStaller) {
+	var targets []EngineStaller
+	if cl.Port != -1 {
+		targets = []EngineStaller{nics[cl.Port]}
+	} else {
+		for _, s := range nics {
+			if s != nil {
+				targets = append(targets, s)
+			}
+		}
+	}
+	stall := cl.Stall.T()
+	period := cl.Period.T()
+	until := cl.Until.T()
+	var tick func()
+	tick = func() {
+		for _, s := range targets {
+			s.StallEngines(stall)
+		}
+		inj.cNICStalls.Inc()
+		inj.eng.Trc().Instant("faults", "nic-stall", trace.I64("port", int64(cl.Port)), trace.I64("stall_ps", int64(stall)))
+		if period == 0 {
+			return
+		}
+		if next := inj.eng.Now() + period; next < until {
+			inj.eng.ScheduleAt(next, tick)
+		}
+	}
+	inj.eng.ScheduleAt(inj.startAt(cl.From), tick)
+}
+
+// filter is the compiled frame-level pipeline, consulted from the
+// network's DropFn for every frame. Clauses run in scenario order; the
+// first drop wins (later clauses then see no frame, mirroring a real wire
+// where a frame lost upstream never reaches downstream impairments).
+func (inj *Injector) filter(f *fabric.Frame) bool {
+	now := inj.eng.Now()
+	for _, fc := range inj.frame {
+		if !fc.activeAt(now) || !fc.matches(f) {
+			continue
+		}
+		switch fc.cl.Kind {
+		case KindLoss:
+			if fc.rng.Float64() < fc.cl.Rate {
+				inj.drop(f, "loss")
+				return true
+			}
+		case KindBurstLoss:
+			if fc.bad {
+				if fc.rng.Float64() < fc.cl.PGood {
+					fc.bad = false
+				}
+			} else {
+				if fc.rng.Float64() < fc.cl.PBad {
+					fc.bad = true
+				}
+			}
+			p := fc.cl.LossGood
+			if fc.bad {
+				p = fc.cl.LossBad
+			}
+			if p > 0 && fc.rng.Float64() < p {
+				inj.drop(f, "burst-loss")
+				return true
+			}
+		case KindCorrupt:
+			if !f.Corrupt && fc.rng.Float64() < fc.cl.Rate {
+				f.Corrupt = true
+				inj.corrupted++
+				inj.cCorrupted.Inc()
+				if tr := inj.eng.Trc(); tr.Enabled() {
+					tr.Instant("faults", "corrupt", trace.I64("src", int64(f.Src)), trace.I64("dst", int64(f.Dst)), trace.I64("bytes", int64(f.Bytes)))
+				}
+			}
+		case KindFlap: // drop mode: the window check above is the fault
+			inj.drop(f, "flap-drop")
+			return true
+		}
+	}
+	return false
+}
+
+// drop accounts one injected frame loss.
+func (inj *Injector) drop(f *fabric.Frame, why string) {
+	inj.dropped++
+	inj.cDropped.Inc()
+	if tr := inj.eng.Trc(); tr.Enabled() {
+		tr.Instant("faults", "drop",
+			trace.Str("why", why), trace.I64("src", int64(f.Src)), trace.I64("dst", int64(f.Dst)), trace.I64("bytes", int64(f.Bytes)))
+	}
+}
+
+// Dropped returns the number of frames this injector has dropped.
+func (inj *Injector) Dropped() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.dropped
+}
+
+// Corrupted returns the number of frames this injector has marked corrupt.
+func (inj *Injector) Corrupted() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.corrupted
+}

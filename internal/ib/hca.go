@@ -104,7 +104,7 @@ type HCA struct {
 
 	cPktsTx, cPktsRx, cAcksRx *metrics.Counter
 	cCtxHits, cCtxMisses      *metrics.Counter
-	cReadReqs                 *metrics.Counter
+	cReadReqs, cEngineStalls  *metrics.Counter
 }
 
 // New creates an HCA attached to hostMem and the IB fabric.
@@ -128,6 +128,7 @@ func New(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.Network,
 	h.cCtxHits = mreg.Counter("ib.ctx_hits")
 	h.cCtxMisses = mreg.Counter("ib.ctx_misses")
 	h.cReadReqs = mreg.Counter("ib.read_requests")
+	h.cEngineStalls = mreg.Counter("ib.engine_stalls")
 	return h
 }
 
@@ -161,7 +162,26 @@ func (h *HCA) PollDetect() sim.Time { return h.cfg.PollDetect }
 // CtxMisses returns how many QP-context reloads the engine has done.
 func (h *HCA) CtxMisses() int64 { return h.ctx.misses }
 
-// Deliver implements fabric.Endpoint.
+// StallEngines implements faults.EngineStaller: both embedded processors
+// stop accepting work for d virtual time. The HCA's engines have capacity
+// one, so a stall is simply an exclusive occupancy of each.
+func (h *HCA) StallEngines(d sim.Time) {
+	h.eng.Go(h.name+"/engine-stall", func(p *sim.Proc) {
+		start := h.eng.Now()
+		h.txEngine.Acquire(p, 1)
+		h.rxEngine.Acquire(p, 1)
+		p.Sleep(d)
+		h.rxEngine.Release(1)
+		h.txEngine.Release(1)
+		h.cEngineStalls.Inc()
+		h.eng.Trc().Complete(h.name, "engine-stall", int64(start), int64(h.eng.Now()))
+	})
+}
+
+// Deliver implements fabric.Endpoint. The fabric's Corrupt mark is ignored:
+// IB's link-level CRC retry sits below the layers this model prices, so a
+// damaged packet is retried invisibly at the link (corruption injection is
+// an iWARP/Ethernet experiment — see internal/faults).
 func (h *HCA) Deliver(f *fabric.Frame) {
 	pk := f.Payload.(*packet)
 	if pk.dstQPN < 0 || pk.dstQPN >= len(h.qps) {

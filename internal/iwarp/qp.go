@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 )
 
@@ -69,7 +70,7 @@ type QP struct {
 	scq    *verbs.CQ
 	rcq    *verbs.CQ
 	places *sim.Queue[verbs.Placement]
-	rxQ    *sim.Queue[tcpsim.Segment]
+	rxQ    *sim.Queue[rxSeg]
 	sendQ  *sim.Queue[verbs.WR]
 	emitQ  *sim.Queue[*fetchedWR]
 
@@ -87,7 +88,7 @@ func (r *RNIC) newQP() *QP {
 		scq:    verbs.NewCQ(r.eng, r.name+"/scq", r.cfg.PollDetect),
 		rcq:    verbs.NewCQ(r.eng, r.name+"/rcq", r.cfg.PollDetect),
 		places: sim.NewQueue[verbs.Placement](r.eng, r.name+"/placements"),
-		rxQ:    sim.NewQueue[tcpsim.Segment](r.eng, r.name+"/rxq"),
+		rxQ:    sim.NewQueue[rxSeg](r.eng, r.name+"/rxq"),
 		sendQ:  sim.NewQueue[verbs.WR](r.eng, r.name+"/sq"),
 		emitQ:  sim.NewQueue[*fetchedWR](r.eng, r.name+"/emitq"),
 	}
@@ -350,16 +351,29 @@ func (q *QP) recordAcked(meta any) {
 	}
 }
 
+// rxSeg is one arrived TCP segment plus the fabric's corruption mark.
+type rxSeg struct {
+	seg     tcpsim.Segment
+	corrupt bool
+}
+
 // rxLoop is the per-QP receive process: it serializes TCP input per
 // connection while sharing the RNIC's pipelined engine across QPs.
 func (q *QP) rxLoop(p *sim.Proc) {
 	r := q.rnic
 	for {
-		tseg := q.rxQ.Get(p)
+		rx := q.rxQ.Get(p)
+		tseg := rx.seg
 		if tseg.Len == 0 {
-			// Pure ACK: cheap engine pass, may open the TX window.
+			// Pure ACK: cheap engine pass, may open the TX window. A corrupt
+			// one fails the TCP checksum and is discarded after the same
+			// engine pass; the sender's RTO covers the lost window update.
 			r.cAcksRx.Inc()
 			r.rxEngine.Use(p, r.cfg.RxAckTime)
+			if rx.corrupt {
+				r.cCrcRejects.Inc()
+				continue
+			}
 			q.conn.Input(tseg)
 			continue
 		}
@@ -368,6 +382,17 @@ func (q *QP) rxLoop(p *sim.Proc) {
 		r.rxEngine.Acquire(p, 1)
 		p.Sleep(r.cfg.RxSegTime)
 		r.rxEngine.Release(1)
+		if rx.corrupt {
+			// MPA CRC reject: the engine has already paid the receive pass
+			// that computed the CRC; the FPDU is discarded without reaching
+			// DDP placement or the TOE, so no ACK advances and the sender's
+			// go-back-N retransmission recovers the stream.
+			r.cCrcRejects.Inc()
+			if tr := r.eng.Trc(); tr.Enabled() {
+				tr.Instant(r.name, "mpa-crc-reject", trace.I64("qpn", int64(q.qpn)), trace.I64("bytes", int64(tseg.Len)))
+			}
+			continue
+		}
 		seg := tseg
 		r.eng.Schedule(r.cfg.RxPipeDelay, func() {
 			recs, ack, need := q.conn.Input(seg)

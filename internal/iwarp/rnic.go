@@ -114,6 +114,7 @@ type RNIC struct {
 	cSegsTx, cSegsRx, cAcksRx   *metrics.Counter
 	cReadReqs, cEarlyArrivals   *metrics.Counter
 	cFramingBytes, cMarkerBytes *metrics.Counter
+	cCrcRejects, cEngineStalls  *metrics.Counter
 }
 
 // wireSeg is the fabric frame payload: a TCP segment addressed to a QP.
@@ -148,6 +149,8 @@ func New(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.Network,
 	r.cEarlyArrivals = mreg.Counter("iwarp.early_arrivals")
 	r.cFramingBytes = mreg.Counter("iwarp.mpa_framing_bytes")
 	r.cMarkerBytes = mreg.Counter("iwarp.mpa_marker_bytes")
+	r.cCrcRejects = mreg.Counter("iwarp.mpa_crc_rejects")
+	r.cEngineStalls = mreg.Counter("iwarp.engine_stalls")
 	return r
 }
 
@@ -216,13 +219,32 @@ func (r *RNIC) engineToHost(bytes int) sim.Time {
 	return end
 }
 
-// Deliver implements fabric.Endpoint: route the TCP segment to its QP.
+// Deliver implements fabric.Endpoint: route the TCP segment to its QP. The
+// fabric's Corrupt mark rides along so the receive path can reject the
+// FPDU on the MPA CRC after paying for the engine work of checking it.
 func (r *RNIC) Deliver(f *fabric.Frame) {
 	ws := f.Payload.(wireSeg)
 	if ws.dstQPN < 0 || ws.dstQPN >= len(r.qps) {
 		panic(fmt.Sprintf("iwarp %s: frame for unknown QP %d", r.name, ws.dstQPN))
 	}
-	r.qps[ws.dstQPN].rxQ.Put(ws.seg)
+	r.qps[ws.dstQPN].rxQ.Put(rxSeg{seg: ws.seg, corrupt: f.Corrupt})
+}
+
+// StallEngines implements faults.EngineStaller: the protocol engine stops
+// accepting new contexts for d virtual time (firmware housekeeping, thermal
+// throttling). In-flight segments finish; the stall occupies every pipeline
+// slot of both directions, so queued work resumes exactly d later.
+func (r *RNIC) StallEngines(d sim.Time) {
+	r.eng.Go(r.name+"/engine-stall", func(p *sim.Proc) {
+		start := r.eng.Now()
+		r.txEngine.Acquire(p, r.cfg.PipelineWidth)
+		r.rxEngine.Acquire(p, r.cfg.PipelineWidth)
+		p.Sleep(d)
+		r.rxEngine.Release(r.cfg.PipelineWidth)
+		r.txEngine.Release(r.cfg.PipelineWidth)
+		r.cEngineStalls.Inc()
+		r.eng.Trc().Complete(r.name, "engine-stall", int64(start), int64(r.eng.Now()))
+	})
 }
 
 // Connect establishes a connected QP pair (with its underlying offloaded

@@ -5,28 +5,20 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
 // TestMPIOverLossyEthernet: the iWARP stack rides a real reliability layer
 // (the offloaded TCP), so frame loss on the Ethernet must be invisible to
-// MPI except as added latency. Inject random loss and verify a full
-// mixed-size bidirectional exchange bit-for-bit. (The IB and MX fabrics are
-// link-level lossless in hardware and in the model, so only the Ethernet
-// stack faces this.)
+// MPI except as added latency. Inject random loss through the faults
+// scenario layer and verify a full mixed-size bidirectional exchange
+// bit-for-bit. (The IB and MX fabrics are link-level lossless in hardware
+// and in the model, so only the Ethernet stack faces this.)
 func TestMPIOverLossyEthernet(t *testing.T) {
 	tb, w := DefaultWorld(cluster.IWARP, 2)
 	defer tb.Close()
-	rng := sim.NewRNG(2026)
-	dropped := 0
-	tb.Fabric.DropFn = func(f *fabric.Frame) bool {
-		if rng.Float64() < 0.10 {
-			dropped++
-			return true
-		}
-		return false
-	}
+	inj := tb.MustApplyFaults(faults.New(2026).Add(faults.Loss(0.10)))
 	sizes := []int{1, 4 << 10, 100 << 10, 64, 64 << 10}
 	for r := 0; r < 2; r++ {
 		r := r
@@ -52,21 +44,20 @@ func TestMPIOverLossyEthernet(t *testing.T) {
 	if err := tb.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if dropped == 0 {
+	if inj.Dropped() == 0 {
 		t.Error("loss injection never fired; test is vacuous")
 	}
 }
 
 // TestMPILossyVsCleanLatency: loss costs time (retransmissions), never
-// correctness. A lossy run must be strictly slower than a clean one.
+// correctness. A lossy run must be strictly slower than a clean one. The
+// clean run applies a nil scenario, exercising the no-op guarantee on the
+// same code path.
 func TestMPILossyVsCleanLatency(t *testing.T) {
-	elapsed := func(loss float64) sim.Time {
+	elapsed := func(sc *faults.Scenario) sim.Time {
 		tb, w := DefaultWorld(cluster.IWARP, 2)
 		defer tb.Close()
-		if loss > 0 {
-			rng := sim.NewRNG(7)
-			tb.Fabric.DropFn = func(f *fabric.Frame) bool { return rng.Float64() < loss }
-		}
+		tb.MustApplyFaults(sc)
 		var total sim.Time
 		tb.Eng.Go("rank0", func(pr *sim.Proc) {
 			p := w.Rank(0)
@@ -94,8 +85,8 @@ func TestMPILossyVsCleanLatency(t *testing.T) {
 		}
 		return total
 	}
-	clean := elapsed(0)
-	lossy := elapsed(0.05)
+	clean := elapsed(nil)
+	lossy := elapsed(faults.New(7).Add(faults.Loss(0.05)))
 	if lossy <= clean {
 		t.Errorf("5%% loss run (%v) not slower than clean run (%v)", lossy, clean)
 	}

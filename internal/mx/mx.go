@@ -232,7 +232,11 @@ func (e *Endpoint) PollDetect() sim.Time { return e.cfg.PollDetect }
 // ablation disables it).
 func (e *Endpoint) RegCache() *mem.RegCache { return e.regs }
 
-// Deliver implements fabric.Endpoint.
+// Deliver implements fabric.Endpoint. The fabric's Corrupt mark is ignored:
+// Myrinet's link-level CRC retry sits below the modeled layers, and the MX
+// endpoint has no modeled protocol-engine occupancy to stall, so the only
+// fault kinds that reach MX are link-level ones (flap, rate, congest) — see
+// internal/faults.
 func (e *Endpoint) Deliver(f *fabric.Frame) { e.rxQ.Put(f.Payload.(*packet)) }
 
 // Isend starts a non-blocking matched send of n bytes to peer.

@@ -20,6 +20,7 @@ package tcpsim
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -61,9 +62,17 @@ type Conn struct {
 	HeaderBytes int
 	// WindowBytes is the fixed flow-control window.
 	WindowBytes int
-	// RTO is the retransmission timeout, measured from the most recent
-	// (re)transmission of the oldest unacknowledged byte.
+	// RTO is the base retransmission timeout, measured from the most recent
+	// (re)transmission of the oldest unacknowledged byte. Each consecutive
+	// timeout without forward progress doubles the effective timeout
+	// (exponential backoff) up to RTOMax; any ACK that advances sndUna
+	// resets it to RTO.
 	RTO sim.Time
+	// RTOMax caps the backed-off retransmission timeout. Zero means no cap.
+	// Without backoff, sustained burst loss livelocks the connection: every
+	// fixed-interval timeout re-sends the whole window into the same burst,
+	// and the wire carries nothing but doomed retransmissions.
+	RTOMax sim.Time
 
 	// OnSendable, if set, is invoked whenever sending may newly be possible
 	// (window opened by an ACK, retransmission armed, or data queued while
@@ -84,6 +93,14 @@ type Conn struct {
 	watches  []ackWatch         // record-end watchpoints, ascending
 	rtoEv    *sim.Event
 	dupAcks  int
+	backoff  uint // consecutive RTO firings without forward progress
+	// recovering is set while a go-back-N rewind is outstanding and cleared
+	// by the next ACK that advances sndUna. One recovery per loss event, as
+	// in NewReno: a full-window retransmission breeds a full window of
+	// duplicate ACKs from the receiver, and without this latch every third
+	// one would trigger a further window retransmission — an amplification
+	// factor of window/3 segments that melts down into an ACK storm.
+	recovering bool
 
 	// Receiver state (go-back-N: in-order only).
 	rcvNxt  uint64
@@ -94,6 +111,10 @@ type Conn struct {
 	SegmentsSent    int64
 	SegmentsRecv    int64
 	BytesDelivered  int64
+	RTOFired        int64
+	FastRetransmits int64
+
+	cRetrans, cRTOFired, cFastRetrans *metrics.Counter
 }
 
 // ackWatch marks the stream position at which a record ends, so its full
@@ -111,16 +132,21 @@ type recvRecord struct {
 
 // NewConn returns a connection endpoint with iWARP-era defaults: 9000-byte
 // MTU Ethernet (8960-byte MSS), 40 bytes of IP+TCP header, a 256 KB window
-// and a 1 ms RTO (hardware TOEs retransmit fast).
+// and a 1 ms RTO (hardware TOEs retransmit fast) backing off to 64 ms.
 func NewConn(eng *sim.Engine, name string) *Conn {
+	reg := eng.Metrics()
 	return &Conn{
-		eng:         eng,
-		name:        name,
-		MSS:         8960,
-		HeaderBytes: 40,
-		WindowBytes: 256 << 10,
-		RTO:         sim.Millisecond,
-		inflight:    make(map[uint64]Segment),
+		eng:          eng,
+		name:         name,
+		MSS:          8960,
+		HeaderBytes:  40,
+		WindowBytes:  256 << 10,
+		RTO:          sim.Millisecond,
+		RTOMax:       64 * sim.Millisecond,
+		inflight:     make(map[uint64]Segment),
+		cRetrans:     reg.Counter("tcp.retransmissions"),
+		cRTOFired:    reg.Counter("tcp.rto_fired"),
+		cFastRetrans: reg.Counter("tcp.fast_retransmits"),
 	}
 }
 
@@ -205,17 +231,39 @@ func (c *Conn) NextSegment() (seg Segment, ok bool) {
 // WireBytes returns the on-wire size of a segment (payload plus headers).
 func (c *Conn) WireBytes(seg Segment) int { return seg.Len + c.HeaderBytes }
 
+// maxBackoffShift bounds the exponent so the shift below cannot overflow
+// even with no RTOMax; 2^20 base timeouts is beyond any plausible run.
+const maxBackoffShift = 20
+
+// curRTO returns the effective (backed-off, capped) retransmission timeout.
+func (c *Conn) curRTO() sim.Time {
+	shift := c.backoff
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	rto := c.RTO << shift
+	if c.RTOMax > 0 && rto > c.RTOMax {
+		rto = c.RTOMax
+	}
+	return rto
+}
+
 func (c *Conn) armRTO() {
 	if c.rtoEv != nil {
 		c.rtoEv.Cancel()
 	}
-	c.rtoEv = c.eng.Schedule(c.RTO, c.timeout)
+	c.rtoEv = c.eng.Schedule(c.curRTO(), c.timeout)
 }
 
 func (c *Conn) timeout() {
 	c.rtoEv = nil
 	if c.sndUna == c.sndNxt {
 		return // everything acked meanwhile
+	}
+	c.RTOFired++
+	c.cRTOFired.Inc()
+	if c.backoff < maxBackoffShift {
+		c.backoff++
 	}
 	c.goBackN()
 }
@@ -227,6 +275,8 @@ func (c *Conn) goBackN() {
 		return
 	}
 	c.Retransmissions++
+	c.cRetrans.Inc()
+	c.recovering = true
 	c.rewind()
 	c.notify()
 }
@@ -335,6 +385,8 @@ func (c *Conn) processAck(ack uint64, pure bool) {
 			c.sndNxt = ack
 		}
 		c.dupAcks = 0
+		c.backoff = 0 // forward progress: the path works again
+		c.recovering = false
 		c.fireWatches()
 		if c.sndUna == c.sndNxt {
 			if c.rtoEv != nil {
@@ -349,8 +401,12 @@ func (c *Conn) processAck(ack uint64, pure bool) {
 		}
 	case pure && ack == c.sndUna && c.sndNxt > c.sndUna:
 		c.dupAcks++
-		if c.dupAcks >= 3 {
-			c.goBackN() // fast retransmit
+		if c.dupAcks >= 3 && !c.recovering {
+			// Fast retransmit: dup ACKs prove the path still delivers, so
+			// the timeout backoff is not escalated here.
+			c.FastRetransmits++
+			c.cFastRetrans.Inc()
+			c.goBackN()
 		}
 	}
 }

@@ -264,3 +264,105 @@ func TestZeroLenSendPanics(t *testing.T) {
 	}()
 	c.Send(0, nil)
 }
+
+func TestBurstLossBackoff(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 5*sim.Microsecond)
+	// A sustained outage: every data segment sent in the first 30 ms dies
+	// (a long Gilbert–Elliott bad state). With the old fixed 1 ms timer the
+	// sender would push ~30 doomed retransmission rounds into the burst;
+	// exponential backoff (1, 2, 4, 8, 16 ms) needs only a handful before a
+	// retransmission lands beyond the outage.
+	const outageEnd = 30 * sim.Millisecond
+	p.dropData = func(seg Segment) bool {
+		return seg.Len > 0 && p.eng.Now() < outageEnd
+	}
+	p.a.Send(10_000, "through-the-burst")
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != 1 || p.gotB[0].Meta != "through-the-burst" {
+		t.Fatalf("got %v", p.gotB)
+	}
+	if p.a.RTOFired < 4 || p.a.RTOFired > 8 {
+		t.Errorf("RTO fired %d times; backoff should need ~5 rounds for a 30ms outage", p.a.RTOFired)
+	}
+	if p.a.Retransmissions > 8 {
+		t.Errorf("%d retransmission rounds into a 30ms outage; fixed-timer behavior (expected <= 8 with backoff)", p.a.Retransmissions)
+	}
+	if p.a.backoff != 0 {
+		t.Errorf("backoff = %d after successful delivery, want 0", p.a.backoff)
+	}
+	// The healed connection must be back on the base timer: a fresh record
+	// crosses in round-trip time, not in a backed-off timeout.
+	start := eng.Now()
+	p.a.Send(500, "after")
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if got := eng.Now() - start; got > sim.Millisecond {
+		t.Errorf("post-recovery record took %v; backoff not reset", got)
+	}
+	if len(p.gotB) != 2 || p.gotB[1].Meta != "after" {
+		t.Fatalf("got %v", p.gotB)
+	}
+}
+
+func TestDupAckStormSuppressed(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 10*sim.Microsecond)
+	dropped := false
+	p.dropData = func(seg Segment) bool {
+		// Drop one segment three MSS into a window-filling transfer; the
+		// ~25 later segments of the window each come back as a duplicate
+		// ACK.
+		if seg.Len > 0 && seg.Seq == uint64(3*p.a.MSS) && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	p.a.Send(250_000, "storm") // fills the 256 KB window: ~28 segments
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != 1 || p.gotB[0].Len != 250_000 {
+		t.Fatalf("got %v", p.gotB)
+	}
+	// One loss event must cost one recovery. Without the recovery latch,
+	// every third leftover dup ACK re-triggers a full-window retransmission
+	// and each spurious window breeds a window of new dup ACKs — the run
+	// never converges.
+	if p.a.FastRetransmits != 1 {
+		t.Errorf("fast retransmits = %d, want 1 (dup-ACK storm)", p.a.FastRetransmits)
+	}
+	if p.a.Retransmissions > 2 {
+		t.Errorf("retransmission rounds = %d for a single loss", p.a.Retransmissions)
+	}
+}
+
+func TestRTOBackoffCap(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewConn(eng, "cap")
+	c.RTO = sim.Millisecond
+	c.RTOMax = 4 * sim.Millisecond
+	cases := []struct {
+		backoff uint
+		want    sim.Time
+	}{
+		{0, sim.Millisecond},
+		{1, 2 * sim.Millisecond},
+		{2, 4 * sim.Millisecond},
+		{9, 4 * sim.Millisecond}, // capped
+	}
+	for _, tc := range cases {
+		c.backoff = tc.backoff
+		if got := c.curRTO(); got != tc.want {
+			t.Errorf("curRTO(backoff=%d) = %v, want %v", tc.backoff, got, tc.want)
+		}
+	}
+	// Uncapped connections still bound the shift so the arithmetic cannot
+	// overflow.
+	c.RTOMax = 0
+	c.backoff = maxBackoffShift + 40
+	if got := c.curRTO(); got != sim.Millisecond<<maxBackoffShift {
+		t.Errorf("uncapped curRTO = %v", got)
+	}
+}
