@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race traceguard verify figures calibrate clean
+.PHONY: all build test vet lint race traceguard verify figures calibrate bench benchsmoke jobscheck clean
 
 all: verify
 
@@ -24,9 +24,10 @@ lint:
 
 # The simulation engine, the metrics registry, and the MPI layer are
 # single-threaded by design; the race detector proves the tests don't
-# violate that.
+# violate that. internal/parallel is the opposite — deliberately
+# concurrent — so its pool tests run under the race detector too.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/metrics/... ./internal/mpi/...
+	$(GO) test -race ./internal/sim/... ./internal/metrics/... ./internal/mpi/... ./internal/parallel/... ./internal/bench/...
 
 # Guard the zero-cost-when-disabled contract of the tracer: recording
 # against a nil tracer must not allocate (see internal/trace).
@@ -43,6 +44,27 @@ figures:
 # tolerance, so it is part of the tier-1 gate.
 calibrate:
 	$(GO) run ./cmd/calibrate
+
+# bench measures the engine hot paths and the end-to-end figure-suite wall
+# time and refreshes BENCH_engine.json (see docs/performance.md). Slow: it
+# runs the full figure sweep twice (-j 1 and -j N).
+bench:
+	$(GO) run ./cmd/enginebench -out BENCH_engine.json
+
+# benchsmoke is the CI-sized version: one iteration of every engine
+# microbenchmark, no figure sweeps — it proves the benchmarks still compile
+# and run, not how fast they are.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim/
+
+# jobscheck proves the parallel runner's determinism contract end to end:
+# a thinned full-catalogue figure run at -j 1 and at -j 8 must emit
+# byte-identical output.
+jobscheck:
+	$(GO) build -o /tmp/repro-figures ./cmd/figures
+	/tmp/repro-figures -scale 4 -j 1 > /tmp/repro-figures-j1.txt
+	/tmp/repro-figures -scale 4 -j 8 > /tmp/repro-figures-j8.txt
+	cmp /tmp/repro-figures-j1.txt /tmp/repro-figures-j8.txt
 
 clean:
 	$(GO) clean ./...

@@ -5,13 +5,20 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 func main() {
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent anchor evaluations (1 = sequential)")
+	flag.Parse()
+	parallel.SetJobs(*jobs)
+
 	results := core.CheckAnchors()
 	fmt.Print(core.FormatAnchors(results))
 	for _, r := range results {

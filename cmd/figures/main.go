@@ -4,25 +4,32 @@
 //
 // Usage:
 //
-//	figures [-only figN] [-csv DIR] [-scale N]
+//	figures [-only figN] [-csv DIR] [-scale N] [-j N]
 //
 // -scale thins the parameter sweeps (2 = every other point) for quick runs;
-// the default reproduces the full sweeps.
+// the default reproduces the full sweeps. -j sets how many experiment worlds
+// run concurrently (default GOMAXPROCS); every world is an independent
+// simulation, so the output is byte-identical at any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (fig1..fig8, appx, faults, ext)")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	scale := flag.Int("scale", 1, "sweep thinning factor (1 = full paper sweeps)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds (1 = sequential)")
 	flag.Parse()
+
+	parallel.SetJobs(*jobs)
 
 	if *only != "" {
 		if _, ok := core.Find(*only); !ok {

@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/logp"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -38,7 +40,10 @@ func main() {
 	traceCap := flag.Int("tracecap", 0, "trace buffer capacity in events (0 = default)")
 	metricsFlag := flag.Bool("metrics", false, "dump the metrics registry as JSON to stdout after the test")
 	faultsFile := flag.String("faults", "", "apply a fault scenario (JSON, see docs/faults.md) to every testbed the test builds")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds for tests that build several")
 	flag.Parse()
+
+	parallel.SetJobs(*jobs)
 
 	kind, ok := parseKind(*netName)
 	if !ok {
@@ -58,6 +63,10 @@ func main() {
 
 	var lastTB *cluster.Testbed
 	if *traceFile != "" || *traceJSONL != "" || *metricsFlag || scenario != nil {
+		// The OnNew hook captures "the last testbed built", which only means
+		// something when worlds are built one at a time; tracing a -j N run
+		// would also interleave unrelated worlds' events. Run sequentially.
+		parallel.SetJobs(1)
 		cluster.OnNew = func(tb *cluster.Testbed) {
 			lastTB = tb
 			if *traceFile != "" || *traceJSONL != "" {

@@ -178,13 +178,9 @@ func AppxOverlap(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "overlap ratio (1 = fully hidden)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, n := range sizes {
-			s.Points = append(s.Points, Point{X: float64(n), Y: OverlapRatio(kind, n, 6)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		return OverlapRatio(cluster.Kinds[si], sizes[xi], 6)
+	})
 	return fig
 }
 
@@ -196,13 +192,9 @@ func AppxProgress(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "progress ratio (1 = transfer completed during compute)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, n := range sizes {
-			s.Points = append(s.Points, Point{X: float64(n), Y: ProgressRatio(kind, n, 4)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		return ProgressRatio(cluster.Kinds[si], sizes[xi], 4)
+	})
 	return fig
 }
 
@@ -215,12 +207,8 @@ func AppxHotspot(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "average per-sender latency (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, n := range sizes {
-			s.Points = append(s.Points, Point{X: float64(n), Y: HotspotLatency(kind, 3, n, 8).Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		return HotspotLatency(cluster.Kinds[si], 3, sizes[xi], 8).Micros()
+	})
 	return fig
 }

@@ -117,13 +117,9 @@ func ExtSocketsLatency(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "one-way latency (us)",
 	}
-	for _, label := range SocketStacks {
-		s := Series{Label: label}
-		for _, size := range sizes {
-			s.Points = append(s.Points, Point{X: float64(size), Y: SocketLatency(label, size, itersFor(size)).Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(SocketStacks, floats(sizes), func(si, xi int) float64 {
+		return SocketLatency(SocketStacks[si], sizes[xi], itersFor(sizes[xi])).Micros()
+	})
 	return fig
 }
 
@@ -135,14 +131,10 @@ func ExtSocketsBandwidth(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "goodput (MB/s)",
 	}
-	for _, label := range SocketStacks {
-		s := Series{Label: label}
-		for _, size := range sizes {
-			count := max(256<<10/size, 8)
-			s.Points = append(s.Points, Point{X: float64(size), Y: SocketBandwidth(label, size, count)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(SocketStacks, floats(sizes), func(si, xi int) float64 {
+		size := sizes[xi]
+		return SocketBandwidth(SocketStacks[si], size, max(256<<10/size, 8))
+	})
 	return fig
 }
 
@@ -206,15 +198,18 @@ func ExtUDAPL(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "one-way latency (us)",
 	}
+	// Series order interleaves uDAPL and raw verbs per kind, so the grid's
+	// label axis is (kind, veneer) flattened in that order.
+	labels := make([]string, 0, 2*len(cluster.VerbsKinds))
 	for _, kind := range cluster.VerbsKinds {
-		dat := Series{Label: "uDAPL/" + kind.String()}
-		raw := Series{Label: "verbs/" + kind.String()}
-		for _, size := range sizes {
-			iters := itersFor(size)
-			dat.Points = append(dat.Points, Point{X: float64(size), Y: UDAPLatency(kind, size, iters).Micros()})
-			raw.Points = append(raw.Points, Point{X: float64(size), Y: UserLatency(kind, size, iters).Micros()})
-		}
-		fig.Series = append(fig.Series, dat, raw)
+		labels = append(labels, "uDAPL/"+kind.String(), "verbs/"+kind.String())
 	}
+	fig.Series = gridSeries(labels, floats(sizes), func(si, xi int) float64 {
+		kind, size := cluster.VerbsKinds[si/2], sizes[xi]
+		if si%2 == 0 {
+			return UDAPLatency(kind, size, itersFor(size)).Micros()
+		}
+		return UserLatency(kind, size, itersFor(size)).Micros()
+	})
 	return fig
 }

@@ -18,19 +18,29 @@ import (
 // and re-earns the stream through TCP), and an incast/hotspot experiment
 // with cross-traffic congesting the root's egress port.
 
-// withFaults runs fn with cluster.OnNew chained so that every testbed fn
-// builds gets the scenario applied, then restores the previous hook. A nil
-// scenario exercises the same path and attaches nothing.
-func withFaults(sc *faults.Scenario, fn func()) {
-	prev := cluster.OnNew
-	cluster.OnNew = func(tb *cluster.Testbed) {
-		if prev != nil {
-			prev(tb)
-		}
-		tb.MustApplyFaults(sc)
-	}
-	defer func() { cluster.OnNew = prev }()
-	fn()
+// The degraded-mode drivers apply their scenarios explicitly to the testbed
+// they build (tb.MustApplyFaults right after cluster.New, i.e. at the same
+// point the cluster.OnNew hook fires) instead of mutating the global hook:
+// a process-wide hook swap would leak one cell's scenario into whichever
+// unrelated worlds the worker pool has in flight.
+
+// faultedUserLatency is the Fig. 1 iWARP user-level ping-pong on a testbed
+// degraded by sc (nil = clean).
+func faultedUserLatency(size, iters int, sc *faults.Scenario) sim.Time {
+	tb := cluster.New(cluster.IWARP, 2)
+	defer tb.Close()
+	tb.MustApplyFaults(sc)
+	return VerbsUserLatencyOn(tb, size, iters)
+}
+
+// faultedUniBandwidth is the Fig. 4 unidirectional MPI bandwidth test on a
+// degraded iWARP world. The scenario attaches before the MPI world builds
+// its QP mesh, exactly where the old cluster.OnNew hook applied it.
+func faultedUniBandwidth(size, iters int, sc *faults.Scenario) float64 {
+	tb := cluster.New(cluster.IWARP, 2)
+	tb.MustApplyFaults(sc)
+	w := mpi.NewWorld(tb, mpi.ConfigFor(cluster.IWARP))
+	return uniBandwidthOn(tb, w, size, iters)
 }
 
 // lossScenario builds the uniform-loss scenario for one sweep point; rate 0
@@ -54,17 +64,20 @@ func FaultsFig1Latency(rates []float64) Figure {
 		XLabel: "loss %",
 		YLabel: "one-way latency (us)",
 	}
-	for _, size := range []int{4, 64 << 10} {
-		s := Series{Label: fmt.Sprintf("iWARP %sB", fmtX(float64(size)))}
-		for i, rate := range rates {
-			var lat sim.Time
-			withFaults(lossScenario(uint64(9100+i), rate), func() {
-				lat = UserLatency(cluster.IWARP, size, itersFor(size))
-			})
-			s.Points = append(s.Points, Point{X: rate * 100, Y: lat.Micros()})
-		}
-		fig.Series = append(fig.Series, s)
+	sizes := []int{4, 64 << 10}
+	labels := make([]string, len(sizes))
+	xs := make([]float64, len(rates))
+	for i, size := range sizes {
+		labels[i] = fmt.Sprintf("iWARP %sB", fmtX(float64(size)))
 	}
+	for i, rate := range rates {
+		xs[i] = rate * 100
+	}
+	fig.Series = gridSeries(labels, xs, func(si, xi int) float64 {
+		size := sizes[si]
+		sc := lossScenario(uint64(9100+xi), rates[xi])
+		return faultedUserLatency(size, itersFor(size), sc).Micros()
+	})
 	return fig
 }
 
@@ -79,15 +92,13 @@ func FaultsFig4Bandwidth(rates []float64) Figure {
 		XLabel: "loss %",
 		YLabel: "bandwidth (MB/s)",
 	}
-	s := Series{Label: "MPI/iWARP 1MB"}
+	xs := make([]float64, len(rates))
 	for i, rate := range rates {
-		var bw float64
-		withFaults(lossScenario(uint64(9400+i), rate), func() {
-			bw = MPIBandwidth(cluster.IWARP, Unidirectional, 1<<20, 2)
-		})
-		s.Points = append(s.Points, Point{X: rate * 100, Y: bw})
+		xs[i] = rate * 100
 	}
-	fig.Series = append(fig.Series, s)
+	fig.Series = gridSeries([]string{"MPI/iWARP 1MB"}, xs, func(_, xi int) float64 {
+		return faultedUniBandwidth(1<<20, 2, lossScenario(uint64(9400+xi), rates[xi]))
+	})
 	return fig
 }
 
@@ -111,17 +122,32 @@ func FaultsFlapRecovery(durations []sim.Time) Figure {
 		YLabel: "added elapsed time (us)",
 	}
 	const msgs, size = 32, 64 << 10
-	for _, kind := range cluster.Kinds {
+	// Each kind needs one clean run plus one run per flap length; flatten
+	// the whole (kind, clean|duration) grid into pool cells and take the
+	// clean-run differences during assembly.
+	cols := 1 + len(durations)
+	elapsed := make([]sim.Time, len(cluster.Kinds)*cols)
+	forEachWorld(len(elapsed), func(i int) {
+		kind := cluster.Kinds[i/cols]
+		j := i % cols
+		if j == 0 {
+			elapsed[i] = streamElapsed(kind, msgs, size, nil)
+			return
+		}
+		d := durations[j-1]
+		cl := faults.Flap(1, flapStart, flapStart+d)
+		if kind == cluster.IWARP {
+			// Ethernet link flap: frames in the window are lost, the
+			// offloaded TCP re-earns the stream.
+			cl = faults.FlapDrop(1, flapStart, flapStart+d)
+		}
+		elapsed[i] = streamElapsed(kind, msgs, size, faults.New(uint64(9700+j-1)).Add(cl))
+	})
+	for ki, kind := range cluster.Kinds {
 		s := Series{Label: kind.String()}
-		clean := streamElapsed(kind, msgs, size, nil)
+		clean := elapsed[ki*cols]
 		for i, d := range durations {
-			cl := faults.Flap(1, flapStart, flapStart+d)
-			if kind == cluster.IWARP {
-				// Ethernet link flap: frames in the window are lost, the
-				// offloaded TCP re-earns the stream.
-				cl = faults.FlapDrop(1, flapStart, flapStart+d)
-			}
-			faulted := streamElapsed(kind, msgs, size, faults.New(uint64(9700+i)).Add(cl))
+			faulted := elapsed[ki*cols+1+i]
 			s.Points = append(s.Points, Point{X: d.Micros(), Y: (faulted - clean).Micros()})
 		}
 		fig.Series = append(fig.Series, s)
@@ -184,16 +210,13 @@ func FaultsIncast(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "congested / clean latency ratio",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for i, n := range sizes {
-			iters := max(itersFor(n)/4, 2)
-			clean := hotspotLatency(kind, 3, n, iters, nil)
-			sc := faults.New(uint64(9900 + i)).Add(faults.Congest(0, incastIntensity).Between(0, incastWindow))
-			congested := hotspotLatency(kind, 3, n, iters, sc)
-			s.Points = append(s.Points, Point{X: float64(n), Y: float64(congested) / float64(clean)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		kind, n := cluster.Kinds[si], sizes[xi]
+		iters := max(itersFor(n)/4, 2)
+		clean := hotspotLatency(kind, 3, n, iters, nil)
+		sc := faults.New(uint64(9900 + xi)).Add(faults.Congest(0, incastIntensity).Between(0, incastWindow))
+		congested := hotspotLatency(kind, 3, n, iters, sc)
+		return float64(congested) / float64(clean)
+	})
 	return fig
 }

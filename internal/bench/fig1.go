@@ -129,14 +129,9 @@ func Fig1Latency(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "one-way latency (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: fig1Label(kind)}
-		for _, size := range sizes {
-			lat := UserLatency(kind, size, itersFor(size))
-			s.Points = append(s.Points, Point{X: float64(size), Y: lat.Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(fig1Labels(), floats(sizes), func(si, xi int) float64 {
+		return UserLatency(cluster.Kinds[si], sizes[xi], itersFor(sizes[xi])).Micros()
+	})
 	return fig
 }
 
@@ -149,15 +144,19 @@ func Fig1Bandwidth(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "bandwidth (MB/s)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: fig1Label(kind)}
-		for _, size := range sizes {
-			lat := UserLatency(kind, size, itersFor(size))
-			s.Points = append(s.Points, Point{X: float64(size), Y: sim.MBpsOf(int64(size), lat)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(fig1Labels(), floats(sizes), func(si, xi int) float64 {
+		lat := UserLatency(cluster.Kinds[si], sizes[xi], itersFor(sizes[xi]))
+		return sim.MBpsOf(int64(sizes[xi]), lat)
+	})
 	return fig
+}
+
+func fig1Labels() []string {
+	labels := make([]string, len(cluster.Kinds))
+	for i, kind := range cluster.Kinds {
+		labels[i] = fig1Label(kind)
+	}
+	return labels
 }
 
 func fig1Label(kind cluster.Kind) string {

@@ -170,15 +170,19 @@ func Fig2Latency(kind cluster.Kind, sizes, conns []int, rounds int) Figure {
 		XLabel: "connections",
 		YLabel: "normalized multiple-connection latency (us)",
 	}
-	for _, size := range sizes {
-		s := Series{Label: "Msg=" + fmtX(float64(size)) + "B"}
-		for _, nc := range conns {
-			lat := MultiConnLatency(kind, nc, size, rounds)
-			s.Points = append(s.Points, Point{X: float64(nc), Y: lat.Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(sizeLabels(sizes), floats(conns), func(si, xi int) float64 {
+		return MultiConnLatency(kind, conns[xi], sizes[si], rounds).Micros()
+	})
 	return fig
+}
+
+// sizeLabels renders the per-size series labels of the Figure 2 panels.
+func sizeLabels(sizes []int) []string {
+	labels := make([]string, len(sizes))
+	for i, size := range sizes {
+		labels[i] = "Msg=" + fmtX(float64(size)) + "B"
+	}
+	return labels
 }
 
 // Fig2Throughput reproduces one network's multi-connection throughput panel
@@ -190,12 +194,8 @@ func Fig2Throughput(kind cluster.Kind, sizes, conns []int, perConn int) Figure {
 		XLabel: "connections",
 		YLabel: "throughput (MB/s)",
 	}
-	for _, size := range sizes {
-		s := Series{Label: "Msg=" + fmtX(float64(size)) + "B"}
-		for _, nc := range conns {
-			s.Points = append(s.Points, Point{X: float64(nc), Y: MultiConnThroughput(kind, nc, size, perConn)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(sizeLabels(sizes), floats(conns), func(si, xi int) float64 {
+		return MultiConnThroughput(kind, conns[xi], sizes[si], perConn)
+	})
 	return fig
 }

@@ -49,14 +49,9 @@ func Fig3Latency(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "one-way latency (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: "MPI/" + kind.String()}
-		for _, size := range sizes {
-			lat := MPILatency(kind, size, itersFor(size))
-			s.Points = append(s.Points, Point{X: float64(size), Y: lat.Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels("MPI/"), floats(sizes), func(si, xi int) float64 {
+		return MPILatency(cluster.Kinds[si], sizes[xi], itersFor(sizes[xi])).Micros()
+	})
 	return fig
 }
 
@@ -70,15 +65,12 @@ func Fig3Overhead(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "overhead (%)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, size := range sizes {
-			iters := itersFor(size)
-			user := UserLatency(kind, size, iters)
-			mlat := MPILatency(kind, size, iters)
-			s.Points = append(s.Points, Point{X: float64(size), Y: 100 * float64(mlat-user) / float64(user)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		kind, size := cluster.Kinds[si], sizes[xi]
+		iters := itersFor(size)
+		user := UserLatency(kind, size, iters)
+		mlat := MPILatency(kind, size, iters)
+		return 100 * float64(mlat-user) / float64(user)
+	})
 	return fig
 }

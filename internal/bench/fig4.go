@@ -55,6 +55,12 @@ func MPIBandwidth(kind cluster.Kind, mode BandwidthMode, size, iters int) float6
 // messages, waits for the window, and finally for an acknowledgment.
 func uniBandwidth(kind cluster.Kind, size, iters int) float64 {
 	tb, w := mpi.DefaultWorld(kind, 2)
+	return uniBandwidthOn(tb, w, size, iters)
+}
+
+// uniBandwidthOn is uniBandwidth on a caller-built (possibly faulted)
+// two-rank world, which it closes.
+func uniBandwidthOn(tb *cluster.Testbed, w *mpi.World, size, iters int) float64 {
 	defer tb.Close()
 	var elapsed sim.Time
 	tb.Eng.Go("sender", func(pr *sim.Proc) {
@@ -152,13 +158,9 @@ func Fig4(mode BandwidthMode, sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "bandwidth (MB/s)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: "MPI/" + kind.String()}
-		for _, size := range sizes {
-			iters := max(itersFor(size)/4, 2)
-			s.Points = append(s.Points, Point{X: float64(size), Y: MPIBandwidth(kind, mode, size, iters)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels("MPI/"), floats(sizes), func(si, xi int) float64 {
+		size := sizes[xi]
+		return MPIBandwidth(cluster.Kinds[si], mode, size, max(itersFor(size)/4, 2))
+	})
 	return fig
 }

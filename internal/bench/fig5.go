@@ -13,13 +13,9 @@ func Fig5Gap(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "g(m) (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, size := range sizes {
-			s.Points = append(s.Points, Point{X: float64(size), Y: logp.Gap(kind, size, 48).Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		return logp.Gap(cluster.Kinds[si], sizes[xi], 48).Micros()
+	})
 	return fig
 }
 
@@ -31,13 +27,9 @@ func Fig5Os(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "Os(m) (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, size := range sizes {
-			s.Points = append(s.Points, Point{X: float64(size), Y: logp.SenderOverhead(kind, size, 12).Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		return logp.SenderOverhead(cluster.Kinds[si], sizes[xi], 12).Micros()
+	})
 	return fig
 }
 
@@ -49,12 +41,8 @@ func Fig5Or(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "Or(m) (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, size := range sizes {
-			s.Points = append(s.Points, Point{X: float64(size), Y: logp.ReceiverOverhead(kind, size, 4).Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(sizes), func(si, xi int) float64 {
+		return logp.ReceiverOverhead(cluster.Kinds[si], sizes[xi], 4).Micros()
+	})
 	return fig
 }

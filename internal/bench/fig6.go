@@ -70,13 +70,9 @@ func Fig6(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "ratio of no re-use to full re-use latency",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: "MPI/" + kind.String()}
-		for _, size := range sizes {
-			s.Points = append(s.Points, Point{X: float64(size), Y: BufferReuseRatio(kind, size)})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels("MPI/"), floats(sizes), func(si, xi int) float64 {
+		return BufferReuseRatio(cluster.Kinds[si], sizes[xi])
+	})
 	return fig
 }
 
@@ -90,11 +86,9 @@ func Fig6NoRegCache(sizes []int) Figure {
 		XLabel: "bytes",
 		YLabel: "ratio of no re-use to full re-use latency",
 	}
-	s := Series{Label: "MPI/MXoM (no reg cache)"}
-	for _, size := range sizes {
-		s.Points = append(s.Points, Point{X: float64(size), Y: bufferReuseRatioNoCache(size)})
-	}
-	fig.Series = append(fig.Series, s)
+	fig.Series = gridSeries([]string{"MPI/MXoM (no reg cache)"}, floats(sizes), func(_, xi int) float64 {
+		return bufferReuseRatioNoCache(sizes[xi])
+	})
 	return fig
 }
 

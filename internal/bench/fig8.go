@@ -74,17 +74,17 @@ func Fig8(kind cluster.Kind, sizes, depths []int) Figure {
 		YLabel: "latency ratio (loaded / empty)",
 	}
 	const iters = 12
-	base := map[int]sim.Time{}
-	for _, size := range sizes {
-		base[size] = ReceiveQueueLatency(kind, size, 0, iters)
+	base := make([]sim.Time, len(sizes))
+	forEachWorld(len(sizes), func(i int) {
+		base[i] = ReceiveQueueLatency(kind, sizes[i], 0, iters)
+	})
+	labels := make([]string, len(sizes))
+	for i, size := range sizes {
+		labels[i] = fmtX(float64(size))
 	}
-	for _, size := range sizes {
-		s := Series{Label: fmtX(float64(size))}
-		for _, d := range depths {
-			lat := ReceiveQueueLatency(kind, size, d, iters)
-			s.Points = append(s.Points, Point{X: float64(d), Y: float64(lat) / float64(base[size])})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(labels, floats(depths), func(si, xi int) float64 {
+		lat := ReceiveQueueLatency(kind, sizes[si], depths[xi], iters)
+		return float64(lat) / float64(base[si])
+	})
 	return fig
 }

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/parallel"
+)
+
+// This file is the drivers' seam onto the internal/parallel worker pool.
+// Every figure is a grid of independent experiment worlds (one testbed, one
+// engine, one run per cell); the helpers below flatten a grid into indexed
+// tasks, run them on the pool, and reassemble the series in loop order, so
+// a figure built at -j 8 is byte-identical to the same figure at -j 1.
+
+// forEachWorld runs f(0) … f(n-1) on the worker pool. The drivers' world
+// runners report failure by panicking (see mustRun); the pool converts a
+// panic into the failing cell's error, and forEachWorld re-panics with the
+// lowest-index error so a sweep fails the same way regardless of -j.
+func forEachWorld(n int, f func(i int)) {
+	if err := parallel.For(n, func(i int) error {
+		f(i)
+		return nil
+	}); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+}
+
+// gridSeries evaluates cell(si, xi) for every (series, x) pair on the worker
+// pool and assembles one Series per label, points in xs order. cell must be
+// self-contained: build the world, run it, return the Y value.
+func gridSeries(labels []string, xs []float64, cell func(si, xi int) float64) []Series {
+	ys := make([]float64, len(labels)*len(xs))
+	forEachWorld(len(ys), func(i int) {
+		ys[i] = cell(i/len(xs), i%len(xs))
+	})
+	out := make([]Series, len(labels))
+	for si, label := range labels {
+		s := Series{Label: label, Points: make([]Point, len(xs))}
+		for xi, x := range xs {
+			s.Points[xi] = Point{X: x, Y: ys[si*len(xs)+xi]}
+		}
+		out[si] = s
+	}
+	return out
+}
+
+// kindLabels returns prefix+kind.String() for every compared stack, the
+// common series-label shape of the per-kind figures.
+func kindLabels(prefix string) []string {
+	labels := make([]string, len(cluster.Kinds))
+	for i, kind := range cluster.Kinds {
+		labels[i] = prefix + kind.String()
+	}
+	return labels
+}
+
+// floats converts a sweep axis to the float64 X values gridSeries wants.
+func floats[T int | float64](xs []T) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

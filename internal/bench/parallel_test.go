@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// The parallel runner's whole contract is that -j never changes results.
+// Build a representative paper figure and a degraded-mode (faults-family)
+// figure sequentially and with 8 workers and require the rendered tables —
+// the exact bytes cmd/figures emits — to match.
+func TestFiguresByteIdenticalAcrossJobs(t *testing.T) {
+	build := func() string {
+		lat := Fig1Latency([]int{4, 1 << 10, 64 << 10})
+		deg := FaultsFig1Latency([]float64{0, 0.01})
+		return lat.Table() + deg.Table()
+	}
+	old := parallel.Jobs()
+	defer parallel.SetJobs(old)
+	parallel.SetJobs(1)
+	seq := build()
+	parallel.SetJobs(8)
+	par := build()
+	if seq != par {
+		t.Fatalf("figure output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq, par)
+	}
+}
+
+func TestGridSeriesAssemblesInLoopOrder(t *testing.T) {
+	old := parallel.Jobs()
+	defer parallel.SetJobs(old)
+	parallel.SetJobs(4)
+	labels := []string{"a", "b", "c"}
+	xs := []float64{10, 20}
+	got := gridSeries(labels, xs, func(si, xi int) float64 {
+		return float64(100*si + xi)
+	})
+	for si, s := range got {
+		if s.Label != labels[si] {
+			t.Fatalf("series %d label = %q, want %q", si, s.Label, labels[si])
+		}
+		for xi, p := range s.Points {
+			if p.X != xs[xi] || p.Y != float64(100*si+xi) {
+				t.Fatalf("series %q point %d = %+v", s.Label, xi, p)
+			}
+		}
+	}
+}

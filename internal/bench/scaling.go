@@ -95,13 +95,9 @@ func ExtScalingAlltoall(nodeCounts []int, n int) Figure {
 		XLabel: "nodes",
 		YLabel: "time per alltoall (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, nodes := range nodeCounts {
-			s.Points = append(s.Points, Point{X: float64(nodes), Y: AlltoallTime(kind, nodes, n, 4).Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(nodeCounts), func(si, xi int) float64 {
+		return AlltoallTime(cluster.Kinds[si], nodeCounts[xi], n, 4).Micros()
+	})
 	return fig
 }
 
@@ -113,12 +109,8 @@ func ExtScalingAllgather(nodeCounts []int, n int) Figure {
 		XLabel: "nodes",
 		YLabel: "time per allgather (us)",
 	}
-	for _, kind := range cluster.Kinds {
-		s := Series{Label: kind.String()}
-		for _, nodes := range nodeCounts {
-			s.Points = append(s.Points, Point{X: float64(nodes), Y: AllgatherTime(kind, nodes, n, 4).Micros()})
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = gridSeries(kindLabels(""), floats(nodeCounts), func(si, xi int) float64 {
+		return AllgatherTime(cluster.Kinds[si], nodeCounts[xi], n, 4).Micros()
+	})
 	return fig
 }

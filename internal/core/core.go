@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/logp"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
@@ -329,16 +330,23 @@ type AnchorResult struct {
 	Within   bool
 }
 
-// CheckAnchors evaluates every anchor.
+// CheckAnchors evaluates every anchor. Each anchor's Measure builds its own
+// worlds, so the table evaluates on the worker pool, results landing in
+// table order regardless of which anchor finishes first.
 func CheckAnchors() []AnchorResult {
-	var out []AnchorResult
-	for _, a := range Anchors() {
+	anchors := Anchors()
+	out := make([]AnchorResult, len(anchors))
+	if err := parallel.For(len(anchors), func(i int) error {
+		a := anchors[i]
 		m := a.Measure()
 		rel := (m - a.Paper) / a.Paper
 		if rel < 0 {
 			rel = -rel
 		}
-		out = append(out, AnchorResult{Anchor: a, Measured: m, Within: rel <= a.Tolerance})
+		out[i] = AnchorResult{Anchor: a, Measured: m, Within: rel <= a.Tolerance}
+		return nil
+	}); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
 	return out
 }

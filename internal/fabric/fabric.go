@@ -261,7 +261,7 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 			trace.I64("bytes", int64(f.Bytes)), trace.I64("src", int64(f.Src)))
 	}
 	deliverAt := egEnd + n.cfg.PropDelay
-	n.eng.ScheduleAt(deliverAt, func() {
+	n.eng.At(deliverAt, func() {
 		n.delivered++
 		n.cDelivered.Inc()
 		dst.ep.Deliver(f)

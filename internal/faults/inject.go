@@ -187,7 +187,7 @@ func (inj *Injector) startAt(d Duration) sim.Time {
 func (inj *Injector) scheduleFlap(cl Clause) {
 	ports := inj.targetPorts(cl.Port)
 	until := cl.Until.T()
-	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+	inj.eng.At(inj.startAt(cl.From), func() {
 		for _, p := range ports {
 			p.StallUp(until)
 			p.StallDown(until)
@@ -199,11 +199,11 @@ func (inj *Injector) scheduleFlap(cl Clause) {
 // flap counter for both flap modes.
 func (inj *Injector) scheduleFlapMarks(cl Clause) {
 	port := int64(cl.Port)
-	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+	inj.eng.At(inj.startAt(cl.From), func() {
 		inj.cFlaps.Inc()
 		inj.eng.Trc().Instant("faults", "link-down", trace.I64("port", port), trace.Bool("drop", cl.Drop))
 	})
-	inj.eng.ScheduleAt(inj.startAt(cl.Until), func() {
+	inj.eng.At(inj.startAt(cl.Until), func() {
 		inj.eng.Trc().Instant("faults", "link-up", trace.I64("port", port))
 	})
 }
@@ -213,7 +213,7 @@ func (inj *Injector) scheduleFlapMarks(cl Clause) {
 func (inj *Injector) scheduleRate(cl Clause) {
 	ports := inj.targetPorts(cl.Port)
 	factor := cl.Rate
-	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+	inj.eng.At(inj.startAt(cl.From), func() {
 		for _, p := range ports {
 			p.SetSlowdown(factor)
 		}
@@ -221,7 +221,7 @@ func (inj *Injector) scheduleRate(cl Clause) {
 		inj.eng.Trc().Instant("faults", "rate-degrade", trace.I64("port", int64(cl.Port)), trace.F64("factor", factor))
 	})
 	if cl.Until != 0 {
-		inj.eng.ScheduleAt(inj.startAt(cl.Until), func() {
+		inj.eng.At(inj.startAt(cl.Until), func() {
 			for _, p := range ports {
 				p.SetSlowdown(1)
 			}
@@ -251,12 +251,12 @@ func (inj *Injector) scheduleCongest(cl Clause) {
 		}
 		inj.cCongest.Inc()
 		if next := now + period; next < until {
-			inj.eng.ScheduleAt(next, tick)
+			inj.eng.At(next, tick)
 		} else {
 			inj.eng.Trc().Instant("faults", "congest-end", trace.I64("port", int64(cl.Port)))
 		}
 	}
-	inj.eng.ScheduleAt(inj.startAt(cl.From), func() {
+	inj.eng.At(inj.startAt(cl.From), func() {
 		inj.eng.Trc().Instant("faults", "congest-begin", trace.I64("port", int64(cl.Port)), trace.F64("share", cl.Rate))
 		tick()
 	})
@@ -289,10 +289,10 @@ func (inj *Injector) scheduleNICStall(cl Clause, nics []EngineStaller) {
 			return
 		}
 		if next := inj.eng.Now() + period; next < until {
-			inj.eng.ScheduleAt(next, tick)
+			inj.eng.At(next, tick)
 		}
 	}
-	inj.eng.ScheduleAt(inj.startAt(cl.From), tick)
+	inj.eng.At(inj.startAt(cl.From), tick)
 }
 
 // filter is the compiled frame-level pipeline, consulted from the

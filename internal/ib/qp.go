@@ -128,14 +128,14 @@ func (q *QP) PostSend(p *sim.Proc, wr verbs.WR) {
 	}
 	p.Sleep(q.hca.cfg.PostOverhead)
 	at := q.hca.pcie.Doorbell(32)
-	q.hca.eng.ScheduleAt(at, func() { q.sendQ.Put(wr) })
+	q.hca.eng.At(at, func() { q.sendQ.Put(wr) })
 }
 
 // PostRecv implements verbs.QP.
 func (q *QP) PostRecv(p *sim.Proc, wr verbs.WR) {
 	p.Sleep(q.hca.cfg.PostOverhead)
 	at := q.hca.pcie.Doorbell(32)
-	q.hca.eng.ScheduleAt(at, func() {
+	q.hca.eng.At(at, func() {
 		if len(q.early) > 0 {
 			m := q.early[0]
 			q.early = q.early[1:]
@@ -324,7 +324,7 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 		}
 		t := h.pcie.WriteFrom(h.eng.Now(), pk.n)
 		pkc := pk
-		h.eng.ScheduleAt(t, func() {
+		h.eng.At(t, func() {
 			copy(region.Buf.Slice(region.Off+pkc.offset, pkc.n), pkc.payload)
 			q.places.Put(verbs.Placement{Key: pkc.stag, Off: pkc.offset, Len: pkc.n, At: h.eng.Now()})
 			if pkc.last {
@@ -355,7 +355,7 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 			}
 			t := h.pcie.WriteFrom(h.eng.Now(), pk.n)
 			wr, cur, pkc := q.curWR, q.cur, pk
-			h.eng.ScheduleAt(t, func() {
+			h.eng.At(t, func() {
 				copy(wr.Local.Slice(wr.LocalOff+pkc.offset, pkc.n), pkc.payload)
 				if pkc.last {
 					q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: cur.got, At: h.eng.Now()})
@@ -394,7 +394,7 @@ func (q *QP) completeEarly(m *inbound, wr verbs.WR) {
 		panic(fmt.Sprintf("ib %s: early send overruns recv buffer", h.name))
 	}
 	t := h.pcie.WriteFrom(h.eng.Now(), m.total)
-	h.eng.ScheduleAt(t, func() {
+	h.eng.At(t, func() {
 		copy(wr.Local.Slice(wr.LocalOff, m.total), m.buf[:m.total])
 		q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: m.total, At: h.eng.Now()})
 	})

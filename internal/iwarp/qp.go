@@ -188,14 +188,14 @@ func (q *QP) PostSend(p *sim.Proc, wr verbs.WR) {
 	}
 	p.Sleep(q.rnic.cfg.PostOverhead)
 	at := q.rnic.pcie.Doorbell(32)
-	q.rnic.eng.ScheduleAt(at, func() { q.sendQ.Put(wr) })
+	q.rnic.eng.At(at, func() { q.sendQ.Put(wr) })
 }
 
 // PostRecv implements verbs.QP.
 func (q *QP) PostRecv(p *sim.Proc, wr verbs.WR) {
 	p.Sleep(q.rnic.cfg.PostOverhead)
 	at := q.rnic.pcie.Doorbell(32)
-	q.rnic.eng.ScheduleAt(at, func() {
+	q.rnic.eng.At(at, func() {
 		// An early-arrived message (no recv had been posted) is consumed
 		// immediately; otherwise the WR queues.
 		if len(q.early) > 0 {
@@ -275,7 +275,7 @@ func (q *QP) emitSegments(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n
 		r.cMarkerBytes.Add(int64(markers))
 		// The remaining pipeline stages add latency without occupying an
 		// engine slot; scheduling preserves per-connection segment order.
-		r.eng.Schedule(r.cfg.TxPipeDelay, func() {
+		r.eng.After(r.cfg.TxPipeDelay, func() {
 			q.conn.Send(fpdu, seg)
 			q.drainTx()
 		})
@@ -394,7 +394,7 @@ func (q *QP) rxLoop(p *sim.Proc) {
 			continue
 		}
 		seg := tseg
-		r.eng.Schedule(r.cfg.RxPipeDelay, func() {
+		r.eng.After(r.cfg.RxPipeDelay, func() {
 			recs, ack, need := q.conn.Input(seg)
 			if need {
 				q.emit(ack)
@@ -419,7 +419,7 @@ func (q *QP) handleSeg(seg *ddpSeg) {
 		t2 := r.engineToHost(seg.n + TaggedHeader)
 		payload, off, n := seg.payload, seg.offset, seg.n
 		last, rdMsg := seg.last, seg.rdMsg
-		r.eng.ScheduleAt(t2, func() {
+		r.eng.At(t2, func() {
 			copy(region.Buf.Slice(region.Off+off, n), payload)
 			q.places.Put(verbs.Placement{Key: seg.stag, Off: off, Len: n, At: r.eng.Now()})
 			if rdMsg != nil && last {
@@ -452,7 +452,7 @@ func (q *QP) handleSeg(seg *ddpSeg) {
 			wr, cur := q.curWR, q.cur
 			payload, off := seg.payload, seg.offset
 			last := seg.last
-			r.eng.ScheduleAt(t2, func() {
+			r.eng.At(t2, func() {
 				copy(wr.Local.Slice(wr.LocalOff+off, len(payload)), payload)
 				if last {
 					q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: cur.got, At: r.eng.Now()})
@@ -499,7 +499,7 @@ func (q *QP) completeEarly(m *inbound, wr verbs.WR) {
 		panic(fmt.Sprintf("iwarp %s: early send overruns recv buffer", r.name))
 	}
 	t2 := r.engineToHost(m.total)
-	r.eng.ScheduleAt(t2, func() {
+	r.eng.At(t2, func() {
 		copy(wr.Local.Slice(wr.LocalOff, m.total), m.buf[:m.total])
 		q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: m.total, At: r.eng.Now()})
 	})

@@ -16,6 +16,16 @@ const ModulePath = "repro"
 // goroutines or channels, no map-iteration-order dependence — is enforced
 // here and only here; support packages (trace, metrics, stats, logp, core,
 // pci) synchronize or sort internally and are exempt.
+//
+// internal/parallel is deliberately NOT in this list: it is the experiment
+// runner's bounded worker pool, the one sanctioned place where goroutines
+// run simulation worlds concurrently. Its safety argument is structural —
+// each pooled task owns a complete world (engine, RNG, metrics) and results
+// land in pre-indexed slots — rather than per-line, so it carries a
+// scope-level exemption here instead of //simlint:allow directives. The
+// packages above it (bench, core) stay in scope: they may *submit* work to
+// the pool but still must not spawn goroutines or consult wall clocks
+// themselves. See docs/performance.md.
 var SimDomain = []string{
 	"internal/sim",
 	"internal/fabric",

@@ -265,13 +265,13 @@ func (e *Endpoint) eagerSend(p *sim.Proc, x *xfer, buf *mem.Buffer, off int) {
 	if x.n <= e.cfg.PIOMax {
 		// Host PIO: descriptor and payload written straight to the NIC.
 		at := e.pcie.Doorbell(64 + x.n)
-		e.eng.ScheduleAt(at, func() {
+		e.eng.At(at, func() {
 			e.eng.Go(e.name+"/tx", func(np *sim.Proc) { e.txPackets(np, x, false) })
 		})
 		return
 	}
 	at := e.pcie.Doorbell(64)
-	e.eng.ScheduleAt(at, func() {
+	e.eng.At(at, func() {
 		e.eng.Go(e.name+"/tx", func(np *sim.Proc) { e.txPackets(np, x, true) })
 	})
 }
@@ -327,7 +327,7 @@ func (e *Endpoint) txPackets(np *sim.Proc, x *xfer, dma bool) {
 // rndvSend performs the sender half of the internal rendezvous.
 func (e *Endpoint) rndvSend(p *sim.Proc, x *xfer, buf *mem.Buffer, off int) {
 	at := e.pcie.Doorbell(64)
-	e.eng.ScheduleAt(at, func() {
+	e.eng.At(at, func() {
 		e.eng.Go(e.name+"/rts", func(np *sim.Proc) {
 			// Pin the source buffer in RegChunk pieces through the internal
 			// cache while the RTS travels.
@@ -388,7 +388,7 @@ func (e *Endpoint) Irecv(p *sim.Proc, match, mask uint64, buf *mem.Buffer, off, 
 	}
 	pr := &postedRecv{match: match, mask: mask, buf: buf, off: off, n: n, h: h}
 	at := e.pcie.Doorbell(64)
-	e.eng.ScheduleAt(at, func() {
+	e.eng.At(at, func() {
 		// Close the post/arrival race: re-check unexpected messages that
 		// landed while the doorbell was in flight.
 		for i, x := range e.unexpected {
@@ -536,7 +536,7 @@ func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 	if x.recvH != nil {
 		// Matched: DMA straight into the user buffer.
 		t := e.pcie.WriteFrom(e.eng.Now(), pk.n)
-		e.eng.ScheduleAt(t, func() {
+		e.eng.At(t, func() {
 			if pk.n > 0 {
 				copy(x.recvBuf.Slice(x.recvOff+pk.off, pk.n), pk.data)
 			}
@@ -549,7 +549,7 @@ func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 	}
 	// Unexpected: DMA into the host unexpected ring.
 	t := e.pcie.WriteFrom(e.eng.Now(), pk.n)
-	e.eng.ScheduleAt(t, func() {
+	e.eng.At(t, func() {
 		if pk.n > 0 {
 			copy(x.unexpData[pk.off:pk.off+pk.n], pk.data)
 		}
@@ -623,7 +623,7 @@ func (e *Endpoint) rxRndvData(p *sim.Proc, pk *packet) {
 	x := pk.x
 	e.nic.Use(p, e.cfg.RxPktTime)
 	t := e.pcie.WriteFrom(e.eng.Now(), pk.n)
-	e.eng.ScheduleAt(t, func() {
+	e.eng.At(t, func() {
 		copy(x.recvBuf.Slice(x.recvOff+pk.off, pk.n), pk.data)
 		x.got += pk.n
 		if pk.last {

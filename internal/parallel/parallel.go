@@ -1,0 +1,110 @@
+// Package parallel is the experiment runner's bounded worker pool. It is the
+// one place in the repository where real goroutines run simulation code
+// concurrently, and it is deliberately OUTSIDE the simlint determinism scope
+// (internal/lint/scope): every task handed to For runs a fully independent
+// simulation world — its own Engine, RNG and metrics registry — so no
+// virtual-time state is shared across pool workers, and determinism is
+// preserved by construction rather than by the single-thread rule the
+// simulator packages live under. See docs/performance.md for the full
+// argument.
+//
+// The pool's contract is shaped by byte-identical output, not throughput:
+//
+//   - Every task runs, even after another task fails. A cancelled tail would
+//     make which-worlds-ran depend on scheduling.
+//   - Results never funnel through a channel in completion order; callers
+//     write into pre-indexed slots so assembly order is the loop order.
+//   - The error returned is the lowest-index failure, not the first to
+//     arrive, so a multi-failure run reports the same error at -j 1 and -j N.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// jobs is the pool width used by For. It defaults to GOMAXPROCS and is
+// normally set once from a command-line -j flag before any experiment runs;
+// it is atomic only so that a harness changing it mid-run (cmd/netbench
+// forcing -j 1 for tracing) is race-free, not to encourage that pattern.
+var jobs atomic.Int64
+
+func init() { jobs.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetJobs sets the worker count used by subsequent For calls. Values below 1
+// are clamped to 1 (sequential).
+func SetJobs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	jobs.Store(int64(n))
+}
+
+// Jobs returns the current worker count.
+func Jobs() int { return int(jobs.Load()) }
+
+// For runs fn(0) … fn(n-1) on min(Jobs(), n) workers and returns the error
+// of the lowest failed index, or nil. A panic inside fn is recovered and
+// reported as that index's error (with the panic value), so one exploding
+// world cannot take down the whole sweep — or the process — before the
+// remaining worlds finish.
+//
+// For must not be called from inside a task: nesting would multiply the
+// worker count past the -j bound. Drivers parallelize at exactly one level
+// (the per-world cell), and the figure catalogue above them stays
+// sequential.
+func For(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, so a -j 1 run is not merely
+		// equivalent to the parallel path, it *is* the plain loop.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := run(i, fn); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = run(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run executes one task with panic containment.
+func run(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// withJobs runs f with the pool width pinned to n, restoring the old value.
+func withJobs(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := Jobs()
+	SetJobs(n)
+	defer SetJobs(old)
+	f()
+}
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8} {
+		withJobs(t, jobs, func() {
+			const n = 100
+			var counts [n]atomic.Int64
+			if err := For(n, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatalf("jobs=%d: unexpected error %v", jobs, err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	// Failures at 7 and 3: the reported error must be index 3's regardless
+	// of which worker finished first, so -j 1 and -j N report identically.
+	for _, jobs := range []int{1, 4} {
+		withJobs(t, jobs, func() {
+			errAt := func(i int) error { return fmt.Errorf("task %d failed", i) }
+			err := For(10, func(i int) error {
+				if i == 7 || i == 3 {
+					return errAt(i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 3 failed" {
+				t.Fatalf("jobs=%d: got %v, want task 3's error", jobs, err)
+			}
+		})
+	}
+}
+
+func TestForRunsTailAfterFailure(t *testing.T) {
+	// No cancellation: an early error must not stop later indices, or the
+	// set of worlds that ran would depend on scheduling.
+	withJobs(t, 4, func() {
+		var ran atomic.Int64
+		boom := errors.New("boom")
+		_ = For(50, func(i int) error {
+			ran.Add(1)
+			if i == 0 {
+				return boom
+			}
+			return nil
+		})
+		if got := ran.Load(); got != 50 {
+			t.Fatalf("ran %d of 50 tasks after early failure", got)
+		}
+	})
+}
+
+func TestForRecoversPanics(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		withJobs(t, jobs, func() {
+			err := For(5, func(i int) error {
+				if i == 2 {
+					panic("exploding world")
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("panic was swallowed")
+			}
+			want := "parallel: task 2 panicked: exploding world"
+			if err.Error() != want {
+				t.Fatalf("got %q, want %q", err.Error(), want)
+			}
+		})
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	if err := For(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("For(0) = %v", err)
+	}
+	if err := For(-3, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("For(-3) = %v", err)
+	}
+}
+
+func TestSetJobsClamps(t *testing.T) {
+	old := Jobs()
+	defer SetJobs(old)
+	SetJobs(0)
+	if got := Jobs(); got != 1 {
+		t.Fatalf("SetJobs(0): Jobs() = %d, want 1", got)
+	}
+	SetJobs(-5)
+	if got := Jobs(); got != 1 {
+		t.Fatalf("SetJobs(-5): Jobs() = %d, want 1", got)
+	}
+}

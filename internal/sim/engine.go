@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -11,58 +10,63 @@ import (
 )
 
 // Event is a scheduled callback. It can be cancelled before it fires.
+//
+// Events live on the engine's free list between uses: a node is recycled
+// when it fires if it was scheduled through a no-handle API (After, At, the
+// process dispatch paths), so the steady-state schedule→fire cycle performs
+// no allocation. Nodes returned by Schedule are never recycled — the
+// caller's handle outlives the firing, and Cancel on a stale handle must
+// stay a harmless no-op rather than cancel an unrelated reused event.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	index     int // heap index; -1 once fired or cancelled
-	cancelled bool
+	at    Time
+	seq   uint64
+	fn    func()  // callback; nil for process dispatch events
+	proc  *Proc   // non-nil for a process's pre-bound dispatch event
+	eng   *Engine // owner, for Cancel's heap removal
+	index int32   // heap index; -1 while not queued
+	owned bool    // no caller handle escaped: recycle on fire
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (ev *Event) Cancel() { ev.cancelled = true }
+// Cancel prevents the event from firing and removes it from the event heap
+// immediately, so mass-cancel workloads (retransmission timers) do not grow
+// the heap. Cancelling an already-fired or already-cancelled event is a
+// no-op.
+func (ev *Event) Cancel() {
+	if ev.index < 0 {
+		return
+	}
+	e := ev.eng
+	e.removeAt(int(ev.index))
+	e.live--
+	ev.fn = nil
+	// The node is not recycled: the caller's *Event handle outlives the
+	// cancellation, and a recycled node could be re-cancelled through it.
+}
 
 // At returns the virtual time the event is scheduled for.
 func (ev *Event) At() Time { return ev.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// eventLess is the engine's total order: time, then schedule order. It is
+// what makes two identical runs fire events identically.
+func eventLess(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // engines with NewEngine. An Engine must only be used from a single OS
 // thread of control: the goroutine that calls Run plus the cooperative
 // processes it dispatches (which never run concurrently with each other).
+//
+// The event queue is a monomorphic indexed 4-ary min-heap keyed on
+// (time, seq): no interface boxing, sift depth log4 n, and every node knows
+// its own index so Cancel unlinks in O(log n) instead of leaving tombstones.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []*Event
+	free    []*Event // recycled owned nodes
+	chunk   []Event  // bump-allocation block for fresh nodes
+	live    int      // scheduled (uncancelled) events, kept for O(1) Pending
 	procs   map[*Proc]struct{}
 	current *Proc
 	stopped bool
@@ -132,21 +136,65 @@ func (e *Engine) Trace(who, format string, args ...any) {
 	e.trc.Instant(who, msg) //simlint:allow tracekeys legacy free-form debug hook; the Enabled/Tracer guard above keeps the disabled path allocation-free
 }
 
-// Schedule arranges for fn to run at now+after. A negative delay is treated
-// as zero. fn runs in engine context: it must not block on virtual time (use
-// a Proc for that) but it may schedule further events, fire Completions, put
-// to Queues and release Resources.
-func (e *Engine) Schedule(after Time, fn func()) *Event {
+// alloc takes an event node from the free list, or carves one from the
+// current bump-allocation chunk.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free) - 1; n >= 0 {
+		ev := e.free[n]
+		e.free[n] = nil
+		e.free = e.free[:n]
+		return ev
+	}
+	if len(e.chunk) == 0 {
+		e.chunk = make([]Event, 64)
+	}
+	ev := &e.chunk[0]
+	e.chunk = e.chunk[1:]
+	ev.eng = e
+	ev.index = -1
+	return ev
+}
+
+// recycle returns an owned node to the free list once it has fired.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// schedule queues fn at now+after and returns the node.
+func (e *Engine) schedule(after Time, fn func(), owned bool) *Event {
 	if e.closed {
 		panic("sim: Schedule on closed engine")
 	}
 	if after < 0 {
 		after = 0
 	}
-	ev := &Event{at: e.now + after, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = e.now + after
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.owned = owned
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.push(ev)
+	e.live++
 	return ev
+}
+
+// Schedule arranges for fn to run at now+after. A negative delay is treated
+// as zero. fn runs in engine context: it must not block on virtual time (use
+// a Proc for that) but it may schedule further events, fire Completions, put
+// to Queues and release Resources.
+//
+// Prefer After when the handle is not needed: it recycles the event node.
+func (e *Engine) Schedule(after Time, fn func()) *Event {
+	return e.schedule(after, fn, false)
+}
+
+// After is Schedule without the cancellation handle. The event node is
+// recycled through the engine's free list when it fires, so the
+// schedule→fire cycle allocates nothing.
+func (e *Engine) After(after Time, fn func()) {
+	e.schedule(after, fn, true)
 }
 
 // ScheduleAt is Schedule with an absolute timestamp, which must not be in
@@ -155,7 +203,124 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) in the past (now %v)", at, e.now))
 	}
-	return e.Schedule(at-e.now, fn)
+	return e.schedule(at-e.now, fn, false)
+}
+
+// At is ScheduleAt without the cancellation handle; like After, the event
+// node is recycled when it fires.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: At(%v) in the past (now %v)", at, e.now))
+	}
+	e.schedule(at-e.now, fn, true)
+}
+
+// scheduleProc queues p's pre-bound dispatch event at now+after. Every
+// process owns exactly one dispatch node, reused in place across parks, so
+// the park→unpark cycle allocates nothing. A parked process has at most one
+// dispatch pending by construction; a second one would dispatch into a
+// running process and deadlock the rendezvous, so it is a fatal bug.
+func (e *Engine) scheduleProc(p *Proc, after Time) {
+	if e.closed {
+		panic("sim: Schedule on closed engine")
+	}
+	if after < 0 {
+		after = 0
+	}
+	ev := &p.ev
+	if ev.index >= 0 {
+		panic("sim: proc " + p.name + " unparked twice")
+	}
+	ev.at = e.now + after
+	ev.seq = e.seq
+	e.seq++
+	e.push(ev)
+	e.live++
+}
+
+// push inserts ev into the 4-ary heap.
+func (e *Engine) push(ev *Event) {
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap)-1, ev)
+}
+
+// siftUp places ev at index i or above, shifting larger parents down.
+func (e *Engine) siftUp(i int, ev *Event) {
+	h := e.heap
+	for i > 0 {
+		pi := (i - 1) >> 2
+		p := h[pi]
+		if !eventLess(ev, p) {
+			break
+		}
+		h[i] = p
+		p.index = int32(i)
+		i = pi
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown places ev at index i or below, pulling the smallest child up.
+func (e *Engine) siftDown(i int, ev *Event) {
+	h := e.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m, min := c, h[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], min) {
+				m, min = j, h[j]
+			}
+		}
+		if !eventLess(min, ev) {
+			break
+		}
+		h[i] = min
+		min.index = int32(i)
+		i = m
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	h := e.heap
+	ev := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0, last)
+	}
+	ev.index = -1
+	return ev
+}
+
+// removeAt unlinks the event at heap index i (the Cancel sift-out path).
+func (e *Engine) removeAt(i int) {
+	h := e.heap
+	n := len(h) - 1
+	ev := h[i]
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if i < n {
+		e.siftDown(i, last)
+		if last.index == int32(i) {
+			e.siftUp(i, last)
+		}
+	}
+	ev.index = -1
 }
 
 // Run executes events until none remain or Stop is called. It returns the
@@ -166,17 +331,23 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("sim: Run on closed engine")
 	}
 	e.stopped = false
-	for !e.stopped && len(e.events) > 0 && e.err == nil {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
-			continue
-		}
+	for !e.stopped && len(e.heap) > 0 && e.err == nil {
+		ev := e.popMin()
 		if ev.at < e.now {
 			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now)
 		}
 		e.now = ev.at
+		e.live--
 		e.cEvents.Inc()
-		ev.fn()
+		if p := ev.proc; p != nil {
+			e.dispatch(p)
+			continue
+		}
+		fn := ev.fn
+		if ev.owned {
+			e.recycle(ev)
+		}
+		fn()
 	}
 	return e.err
 }
@@ -200,18 +371,12 @@ func (e *Engine) RunUntil(t Time) error {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Idle reports whether no events are pending.
-func (e *Engine) Idle() bool { return len(e.events) == 0 }
+func (e *Engine) Idle() bool { return len(e.heap) == 0 }
 
-// Pending returns the number of scheduled (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (uncancelled) events. It is O(1):
+// the engine maintains a live-event counter across Schedule, Cancel and
+// fire instead of scanning the heap.
+func (e *Engine) Pending() int { return e.live }
 
 // LiveProcs returns the number of processes that have been started and have
 // not yet finished.
@@ -281,6 +446,9 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		resume:  make(chan struct{}),
 		yielded: make(chan struct{}),
 	}
+	p.ev.proc = p
+	p.ev.eng = e
+	p.ev.index = -1
 	e.procs[p] = struct{}{}
 	e.cProcs.Inc()
 	//simlint:allow nogoroutine the one legitimate spawn: each Proc needs its own stack, and the rendezvous in dispatch serializes it with the engine
@@ -302,7 +470,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		}
 		p.yielded <- struct{}{} //simlint:allow nogoroutine final yield back to the engine when the proc body returns
 	}()
-	e.Schedule(0, func() { e.dispatch(p) })
+	e.scheduleProc(p, 0)
 	return p
 }
 

@@ -19,6 +19,12 @@ type Proc struct {
 	dead    bool
 	killed  bool
 	done    *Completion
+
+	// ev is the process's pre-bound dispatch event: Sleep, Yield and unpark
+	// push this one node (with a fresh sequence number) instead of
+	// allocating an event and a closure per yield, which keeps the
+	// steady-state park→resume cycle allocation-free.
+	ev Event
 }
 
 // Name returns the process name given to Engine.Go.
@@ -55,17 +61,14 @@ func (p *Proc) park() {
 
 // unpark schedules the process to resume at the current virtual time.
 func (p *Proc) unpark() {
-	p.e.Schedule(0, func() { p.e.dispatch(p) })
+	p.e.scheduleProc(p, 0)
 }
 
 // Sleep blocks the process for d virtual time. Negative durations count as
 // zero (the process still yields, so co-scheduled events at the same
 // timestamp run in deterministic order).
 func (p *Proc) Sleep(d Time) {
-	if d < 0 {
-		d = 0
-	}
-	p.e.Schedule(d, func() { p.e.dispatch(p) })
+	p.e.scheduleProc(p, d)
 	p.park()
 }
 

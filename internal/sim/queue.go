@@ -4,11 +4,17 @@ package sim
 // never blocks and is safe from engine context (event callbacks); Get blocks
 // the calling process until an item is available. Items are delivered in
 // insertion order; competing getters are served in arrival order.
+//
+// Both the item and getter FIFOs are head-indexed slices rather than
+// window-resliced ones: popping advances a cursor and the backing array is
+// reused once drained, so the steady-state put→get cycle allocates nothing.
 type Queue[T any] struct {
 	e       *Engine
 	name    string
 	items   []T
+	ihead   int // items[ihead:] are live
 	getters []*Proc
+	ghead   int // getters[ghead:] are waiting
 
 	puts    int64
 	maxLen  int
@@ -25,7 +31,7 @@ func NewQueue[T any](e *Engine, name string) *Queue[T] {
 func (q *Queue[T]) Name() string { return q.name }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.ihead }
 
 // Puts returns the total number of items ever put.
 func (q *Queue[T]) Puts() int64 { return q.puts }
@@ -34,7 +40,7 @@ func (q *Queue[T]) Puts() int64 { return q.puts }
 func (q *Queue[T]) MaxLen() int { return q.maxLen }
 
 func (q *Queue[T]) account() {
-	q.lenTime += Time(len(q.items)) * (q.e.now - q.lastAt)
+	q.lenTime += Time(q.Len()) * (q.e.now - q.lastAt)
 	q.lastAt = q.e.now
 }
 
@@ -47,60 +53,76 @@ func (q *Queue[T]) AvgLen() float64 {
 	return float64(q.lenTime) / float64(q.e.now)
 }
 
+// popItem removes and returns the oldest item, resetting the backing array
+// once the queue drains so its capacity is reused.
+func (q *Queue[T]) popItem() T {
+	v := q.items[q.ihead]
+	var zero T
+	q.items[q.ihead] = zero
+	q.ihead++
+	if q.ihead == len(q.items) {
+		q.items = q.items[:0]
+		q.ihead = 0
+	}
+	return v
+}
+
+// popGetter removes and returns the first waiting process.
+func (q *Queue[T]) popGetter() *Proc {
+	g := q.getters[q.ghead]
+	q.getters[q.ghead] = nil
+	q.ghead++
+	if q.ghead == len(q.getters) {
+		q.getters = q.getters[:0]
+		q.ghead = 0
+	}
+	return g
+}
+
 // Put appends an item and wakes the first waiting getter, if any.
 func (q *Queue[T]) Put(v T) {
 	q.account()
 	q.puts++
 	q.items = append(q.items, v)
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+	if q.Len() > q.maxLen {
+		q.maxLen = q.Len()
 	}
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
-		g.unpark()
+	if q.ghead < len(q.getters) {
+		q.popGetter().unpark()
 	}
 }
 
 // Get removes and returns the oldest item, blocking p while the queue is
 // empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.getters = append(q.getters, p)
 		p.park()
 	}
 	q.account()
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
+	v := q.popItem()
 	// Cascade: if items remain and other getters wait, keep them moving.
-	if len(q.items) > 0 && len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
-		g.unpark()
+	if q.Len() > 0 && q.ghead < len(q.getters) {
+		q.popGetter().unpark()
 	}
 	return v
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
+		var zero T
 		return zero, false
 	}
 	q.account()
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.popItem(), true
 }
 
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
+		var zero T
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items[q.ihead], true
 }

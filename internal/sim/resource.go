@@ -13,6 +13,7 @@ type Resource struct {
 	capacity int
 	inUse    int
 	waiters  []resWaiter
+	whead    int // waiters[whead:] are queued; head-indexed to reuse the array
 
 	// Stats.
 	acquires  int64
@@ -50,7 +51,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		panic(fmt.Sprintf("sim: resource %q acquire %d of %d", r.name, n, r.capacity))
 	}
 	r.acquires++
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.whead == len(r.waiters) && r.inUse+n <= r.capacity {
 		r.take(n)
 		return
 	}
@@ -68,7 +69,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 
 // granted reports whether p's waiter entry has been satisfied and removed.
 func (r *Resource) granted(p *Proc) bool {
-	for _, w := range r.waiters {
+	for _, w := range r.waiters[r.whead:] {
 		if w.p == p {
 			return false
 		}
@@ -86,7 +87,7 @@ func (r *Resource) take(n int) {
 
 // TryAcquire takes n units if immediately available and reports success.
 func (r *Resource) TryAcquire(n int) bool {
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.whead == len(r.waiters) && r.inUse+n <= r.capacity {
 		r.acquires++
 		r.take(n)
 		return true
@@ -103,12 +104,17 @@ func (r *Resource) Release(n int) {
 	if r.inUse == 0 && r.everyBusy {
 		r.busyTime += r.e.now - r.lastBusy
 	}
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.whead < len(r.waiters) {
+		w := r.waiters[r.whead]
 		if r.inUse+w.n > r.capacity {
 			break
 		}
-		r.waiters = r.waiters[1:]
+		r.waiters[r.whead] = resWaiter{}
+		r.whead++
+		if r.whead == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.whead = 0
+		}
 		r.take(w.n)
 		w.p.unpark()
 	}

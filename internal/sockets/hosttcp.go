@@ -108,7 +108,7 @@ func (h *hostTCP) Name() string { return "TCP/host" }
 // interrupt latency.
 func (h *hostTCP) Deliver(f *fabric.Frame) {
 	seg := f.Payload.(tcpsim.Segment)
-	h.eng.Schedule(h.cfg.IRQDelay, func() { h.rxQ.Put(seg) })
+	h.eng.After(h.cfg.IRQDelay, func() { h.rxQ.Put(seg) })
 }
 
 // Send implements Endpoint: syscall, checksum+copy into the socket buffer,

@@ -203,7 +203,7 @@ func (t *toe) rxLoop(p *sim.Proc) {
 		done := t.pcie.WriteFrom(b1, seg.Len)
 		if len(recs) > 0 {
 			recsCopy := recs
-			t.eng.ScheduleAt(done+t.cfg.CompletionDelay, func() {
+			t.eng.At(done+t.cfg.CompletionDelay, func() {
 				for _, rec := range recsCopy {
 					t.rcv.push(rec.Meta.([]byte))
 				}

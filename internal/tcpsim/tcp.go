@@ -92,6 +92,9 @@ type Conn struct {
 	inflight map[uint64]Segment // sent, unacked segments by Seq
 	watches  []ackWatch         // record-end watchpoints, ascending
 	rtoEv    *sim.Event
+	// rtoFn is the timeout method value, bound once at construction so each
+	// armRTO avoids allocating a fresh method-value closure.
+	rtoFn func()
 	dupAcks  int
 	backoff  uint // consecutive RTO firings without forward progress
 	// recovering is set while a go-back-N rewind is outstanding and cleared
@@ -135,7 +138,7 @@ type recvRecord struct {
 // and a 1 ms RTO (hardware TOEs retransmit fast) backing off to 64 ms.
 func NewConn(eng *sim.Engine, name string) *Conn {
 	reg := eng.Metrics()
-	return &Conn{
+	c := &Conn{
 		eng:          eng,
 		name:         name,
 		MSS:          8960,
@@ -148,6 +151,8 @@ func NewConn(eng *sim.Engine, name string) *Conn {
 		cRTOFired:    reg.Counter("tcp.rto_fired"),
 		cFastRetrans: reg.Counter("tcp.fast_retransmits"),
 	}
+	c.rtoFn = c.timeout
+	return c
 }
 
 // Send enqueues one record of n bytes. Call NextSegment to drain.
@@ -252,7 +257,7 @@ func (c *Conn) armRTO() {
 	if c.rtoEv != nil {
 		c.rtoEv.Cancel()
 	}
-	c.rtoEv = c.eng.Schedule(c.curRTO(), c.timeout)
+	c.rtoEv = c.eng.Schedule(c.curRTO(), c.rtoFn)
 }
 
 func (c *Conn) timeout() {
