@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race traceguard verify figures calibrate bench benchsmoke jobscheck clean
+.PHONY: all build test vet lint race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck clean
 
 all: verify
 
@@ -65,6 +65,16 @@ jobscheck:
 	/tmp/repro-figures -scale 4 -j 1 > /tmp/repro-figures-j1.txt
 	/tmp/repro-figures -scale 4 -j 8 > /tmp/repro-figures-j8.txt
 	cmp /tmp/repro-figures-j1.txt /tmp/repro-figures-j8.txt
+
+# topocheck smoke-tests the multi-switch topology family: a thinned
+# leaf-spine run must succeed and — because ECMP hashing, trunk queueing,
+# and lazy QP wiring all feed the same virtual clock — stay byte-identical
+# between a serial and a parallel run.
+topocheck:
+	$(GO) build -o /tmp/repro-figures ./cmd/figures
+	/tmp/repro-figures -only topo -scale 2 -j 1 > /tmp/repro-topo-j1.txt
+	/tmp/repro-figures -only topo -scale 2 -j 8 > /tmp/repro-topo-j8.txt
+	cmp /tmp/repro-topo-j1.txt /tmp/repro-topo-j8.txt
 
 clean:
 	$(GO) clean ./...

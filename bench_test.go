@@ -349,7 +349,11 @@ func BenchmarkExt_ScalingAlltoall(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/nodes-%d", kind, nodes), func(b *testing.B) {
 				var at sim.Time
 				for i := 0; i < b.N; i++ {
-					at = bench.AlltoallTime(kind, nodes, 1<<10, 3)
+					var err error
+					at, err = bench.AlltoallTime(kind, nodes, 1<<10, 3)
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
 				b.ReportMetric(at.Micros(), "virt-us")
 			})

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1..fig8, appx, faults, ext)")
+	only := flag.String("only", "", "run a single experiment (fig1..fig8, appx, faults, ext, topo)")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	scale := flag.Int("scale", 1, "sweep thinning factor (1 = full paper sweeps)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds (1 = sequential)")
@@ -33,7 +33,7 @@ func main() {
 
 	if *only != "" {
 		if _, ok := core.Find(*only); !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8, appx, faults, ext\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8, appx, faults, ext, topo\n", *only)
 			os.Exit(2)
 		}
 	}

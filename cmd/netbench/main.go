@@ -148,7 +148,11 @@ func main() {
 		lat := bench.HotspotLatency(kind, *nodes-1, *size, *iters)
 		fmt.Printf("%s hotspot with %d senders, %d B: %.2f us per sender\n", kind, *nodes-1, *size, lat.Micros())
 	case "alltoall":
-		at := bench.AlltoallTime(kind, *nodes, *size, max(*iters/4, 2))
+		at, err := bench.AlltoallTime(kind, *nodes, *size, max(*iters/4, 2))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alltoall run failed: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("%s alltoall on %d nodes, %d B per pair: %.2f us\n", kind, *nodes, *size, at.Micros())
 	case "sockets":
 		for _, stack := range bench.SocketStacks {

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -23,10 +24,28 @@ type Series struct {
 	Points []Point
 }
 
-// At returns the Y value at x (exact match), or NaN-like zero with ok=false.
+// xTolerance is the relative slack of X-axis lookups. Axes are derived
+// values — sizes computed by doubling, normalized ratios, microseconds from
+// picosecond division — so two series can disagree in the last ulps about
+// "the same" X; exact == equality then silently drops the point from
+// tables and CSVs. A relative 1e-9 is ~7 orders looser than one ulp and
+// ~6 orders tighter than any real axis spacing.
+const xTolerance = 1e-9
+
+// sameX reports whether two X values name the same axis point, within
+// xTolerance relative slack (exact matches short-circuit, keeping integer
+// axes bit-exact).
+func sameX(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= xTolerance*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// At returns the Y value at x (within xTolerance), or zero with ok=false.
 func (s *Series) At(x float64) (float64, bool) {
 	for _, p := range s.Points {
-		if p.X == x {
+		if sameX(p.X, x) {
 			return p.Y, true
 		}
 	}
@@ -52,19 +71,24 @@ func (f *Figure) Get(label string) *Series {
 	return nil
 }
 
-// xs returns the sorted union of X values across all series.
+// xs returns the sorted union of X values across all series, merging
+// values within xTolerance of each other (the first occurrence in sorted
+// order wins) so a last-ulp disagreement between series yields one row,
+// not two half-empty ones.
 func (f *Figure) xs() []float64 {
-	seen := map[float64]bool{}
+	var all []float64
 	for _, s := range f.Series {
 		for _, p := range s.Points {
-			seen[p.X] = true
+			all = append(all, p.X)
 		}
 	}
-	out := make([]float64, 0, len(seen))
-	for x := range seen {
-		out = append(out, x)
+	sort.Float64s(all)
+	out := all[:0]
+	for _, x := range all {
+		if len(out) == 0 || !sameX(out[len(out)-1], x) {
+			out = append(out, x)
+		}
 	}
-	sort.Float64s(out)
 	return out
 }
 

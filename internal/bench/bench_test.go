@@ -37,6 +37,33 @@ func TestFigureTableAndCSV(t *testing.T) {
 	}
 }
 
+func TestSeriesAtToleratesFloatNoise(t *testing.T) {
+	// X values computed through float arithmetic (0.1+0.2 != 0.3) must
+	// still hit the stored point; exact == lookup fails this test.
+	s := Series{Points: []Point{{0.1 + 0.2, 7}, {1e6, 8}}}
+	if y, ok := s.At(0.3); !ok || y != 7 {
+		t.Errorf("At(0.3) = %v, %v; want 7 over point at %.20f", y, ok, 0.1+0.2)
+	}
+	// Same magnitude-relative slack at large X: one ulp off a million.
+	if y, ok := s.At(1e6 * (1 + 1e-12)); !ok || y != 8 {
+		t.Errorf("At(1e6+eps) = %v, %v; want 8", y, ok)
+	}
+	// The tolerance must stay tight enough to keep neighbouring integer
+	// message sizes distinct.
+	if _, ok := s.At(0.4); ok {
+		t.Error("At(0.4) matched the point at 0.3")
+	}
+	// Figures merging series with float-noise X values must not grow
+	// duplicate columns.
+	fig := Figure{Series: []Series{
+		{Label: "a", Points: []Point{{0.1 + 0.2, 1}}},
+		{Label: "b", Points: []Point{{0.3, 2}}},
+	}}
+	if got := fig.xs(); len(got) != 1 {
+		t.Errorf("xs merged to %v, want one column", got)
+	}
+}
+
 func TestSizeHelpers(t *testing.T) {
 	p2 := Pow2Sizes(1, 8)
 	if len(p2) != 4 || p2[3] != 8 {

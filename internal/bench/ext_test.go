@@ -63,17 +63,37 @@ func TestHotspotDegradesWithSenders(t *testing.T) {
 	}
 }
 
+// alltoallT runs AlltoallTime, failing the test on a clean-run error.
+func alltoallT(t *testing.T, kind cluster.Kind, nodes, n, iters int) sim.Time {
+	t.Helper()
+	at, err := AlltoallTime(kind, nodes, n, iters)
+	if err != nil {
+		t.Fatalf("clean %s alltoall run failed: %v", kind, err)
+	}
+	return at
+}
+
+// allgatherT runs AllgatherTime, failing the test on a clean-run error.
+func allgatherT(t *testing.T, kind cluster.Kind, nodes, n, iters int) sim.Time {
+	t.Helper()
+	at, err := AllgatherTime(kind, nodes, n, iters)
+	if err != nil {
+		t.Fatalf("clean %s allgather run failed: %v", kind, err)
+	}
+	return at
+}
+
 func TestScalingCrossover(t *testing.T) {
 	// The paper's Section 7 conjecture, realized: IB's alltoall falls
 	// behind iWARP once per-node connection counts overflow the QP context
 	// cache, despite IB winning at small node counts.
-	ib4 := AlltoallTime(cluster.IB, 4, 1<<10, 3)
-	iw4 := AlltoallTime(cluster.IWARP, 4, 1<<10, 3)
+	ib4 := alltoallT(t, cluster.IB, 4, 1<<10, 3)
+	iw4 := alltoallT(t, cluster.IWARP, 4, 1<<10, 3)
 	if ib4 >= iw4 {
 		t.Errorf("at 4 nodes IB (%v) should beat iWARP (%v)", ib4, iw4)
 	}
-	ib16 := AlltoallTime(cluster.IB, 16, 1<<10, 3)
-	iw16 := AlltoallTime(cluster.IWARP, 16, 1<<10, 3)
+	ib16 := alltoallT(t, cluster.IB, 16, 1<<10, 3)
+	iw16 := alltoallT(t, cluster.IWARP, 16, 1<<10, 3)
 	if ib16 <= iw16 {
 		t.Errorf("at 16 nodes iWARP (%v) should beat IB (%v)", iw16, ib16)
 	}
@@ -82,8 +102,8 @@ func TestScalingCrossover(t *testing.T) {
 func TestAllgatherScalesRoughlyLinearly(t *testing.T) {
 	// Ring allgather moves (nodes-1) blocks: time should grow with node
 	// count but stay within a small factor of proportional.
-	t4 := AllgatherTime(cluster.MXoM, 4, 4<<10, 3)
-	t8 := AllgatherTime(cluster.MXoM, 8, 4<<10, 3)
+	t4 := allgatherT(t, cluster.MXoM, 4, 4<<10, 3)
+	t8 := allgatherT(t, cluster.MXoM, 8, 4<<10, 3)
 	if t8 <= t4 {
 		t.Errorf("allgather time did not grow: %v -> %v", t4, t8)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 )
@@ -11,78 +13,176 @@ import (
 // The paper's Section 7: "We plan to put these networks to the test in a
 // larger testbed to have a better evaluation of the extent to which the
 // multiple-connection performance of the NetEffect device will affect real
-// world applications." This driver scales the node count beyond the
-// four-node testbed and runs the communication kernels whose connection
-// fan-out grows with the job: Alltoall (every rank talks to every rank) and
-// Allgather.
+// world applications." These drivers scale the node count beyond the
+// four-node testbed — across one switch or a multi-switch leaf–spine
+// fabric (ScaleOpts.Topology) — and run the communication kernels whose
+// connection fan-out grows with the job: Alltoall, Allgather, Allreduce
+// and a halo-exchange application kernel.
 
-// scalingWorld builds an n-node world with a leaner eager pool (many peers
-// multiply the per-pair buffer rings).
-func scalingWorld(kind cluster.Kind, nodes int) (*cluster.Testbed, *mpi.World) {
+// ScaleOpts parameterizes the many-rank drivers beyond the paper's
+// single-switch defaults.
+type ScaleOpts struct {
+	// Topology, when non-nil, runs the kernel on a multi-switch fabric
+	// (see fabric.LeafSpine / fabric.FatTree); nil is the single switch.
+	Topology *fabric.TopologySpec
+	// Faults, when non-nil, is applied to the world after init with its
+	// windows re-anchored at the workload start, like the degraded-mode
+	// figure family does.
+	Faults *faults.Scenario
+}
+
+// ScaleResult is one many-rank run's measurements.
+type ScaleResult struct {
+	// Time is the per-iteration completion time at rank 0.
+	Time sim.Time
+	// TrunkUtilBP is the peak per-direction trunk utilization over the
+	// whole run, in basis points (0 on single-switch worlds) — the direct
+	// witness that oversubscription concentrates load on the leaf uplinks.
+	TrunkUtilBP int64
+}
+
+// scalingConfig is the lean MPI profile of the many-rank worlds: small
+// per-peer eager rings (the bounce buffers are real allocated memory, and
+// credits x peers x threshold at 64+ ranks would dwarf the experiment),
+// one shared eager threshold so the stacks switch protocols at the same
+// point, and lazy pair wiring so kernels with sparse communication graphs
+// never pay for the silent pairs.
+func scalingConfig(kind cluster.Kind) mpi.Config {
 	cfg := mpi.ConfigFor(kind)
-	if cfg.EagerCredits > 64 {
-		cfg.EagerCredits = 64
+	if cfg.EagerCredits > 4 {
+		cfg.EagerCredits = 4
 	}
-	tb := cluster.New(kind, nodes)
-	return tb, mpi.NewWorld(tb, cfg)
+	if cfg.EagerThreshold > 2<<10 {
+		cfg.EagerThreshold = 2 << 10
+	}
+	cfg.LazyConnect = !kind.IsMX()
+	return cfg
 }
 
-// AlltoallTime measures the completion time of one n-byte-per-pair Alltoall
-// across `nodes` ranks.
-func AlltoallTime(kind cluster.Kind, nodes, n, iters int) sim.Time {
-	tb, w := scalingWorld(kind, nodes)
+// scalingWorld builds an n-node world with the lean profile.
+func scalingWorld(kind cluster.Kind, nodes int, opts ScaleOpts) (*cluster.Testbed, *mpi.World) {
+	tb := cluster.NewWithOptions(kind, nodes, cluster.Options{Topology: opts.Topology})
+	return tb, mpi.NewWorld(tb, scalingConfig(kind))
+}
+
+// collectiveScale runs one kernel on every rank: kernel allocates the
+// rank's buffers and returns the per-iteration body. Every rank runs one
+// untimed warmup iteration first — it wires the lazy QP mesh and warms the
+// buffer pools, so the timed iterations measure the kernel, not MPI_Init
+// spread across first touches. Run errors (fault-injected worlds that
+// panic a protocol invariant, impossible schedules) are returned, not
+// panicked: a degraded topology cell renders as a missing point.
+func collectiveScale(kind cluster.Kind, nodes, iters int, opts ScaleOpts,
+	kernel func(p *mpi.Process, pr *sim.Proc) func(*sim.Proc)) (ScaleResult, error) {
+	tb, w := scalingWorld(kind, nodes, opts)
 	defer tb.Close()
-	var total sim.Time
+	tb.MustApplyFaults(opts.Faults.ShiftedBy(tb.Eng.Now()))
+	var res ScaleResult
 	for r := 0; r < nodes; r++ {
 		r := r
 		p := w.Rank(r)
 		tb.Eng.Go(fmt.Sprintf("rank%d", r), func(pr *sim.Proc) {
-			send := p.Host().Mem.Alloc(nodes * n)
-			recv := p.Host().Mem.Alloc(nodes * n)
-			send.Fill(byte(r))
+			iter := kernel(p, pr)
+			iter(pr) // warmup: wires lazy pairs, off the measured path
 			p.Barrier(pr)
 			start := p.Wtime(pr)
 			for i := 0; i < iters; i++ {
-				p.Alltoall(pr, send, recv, n)
+				iter(pr)
 				p.Barrier(pr)
 			}
 			if r == 0 {
-				total = (p.Wtime(pr) - start) / sim.Time(iters)
+				res.Time = (p.Wtime(pr) - start) / sim.Time(iters)
 			}
 		})
 	}
 	if err := tb.Run(); err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
+		return ScaleResult{}, err
 	}
-	return total
+	res.TrunkUtilBP = tb.Fabric.MaxTrunkUtilBP()
+	return res, nil
 }
 
-// AllgatherTime measures one n-byte-per-rank Allgather across `nodes`.
-func AllgatherTime(kind cluster.Kind, nodes, n, iters int) sim.Time {
-	tb, w := scalingWorld(kind, nodes)
-	defer tb.Close()
-	var total sim.Time
-	for r := 0; r < nodes; r++ {
-		r := r
-		p := w.Rank(r)
-		tb.Eng.Go(fmt.Sprintf("rank%d", r), func(pr *sim.Proc) {
-			buf := p.Host().Mem.Alloc(nodes * n)
-			buf.Fill(byte(r))
-			p.Barrier(pr)
-			start := p.Wtime(pr)
-			for i := 0; i < iters; i++ {
-				p.Allgather(pr, buf, n)
-				p.Barrier(pr)
-			}
-			if r == 0 {
-				total = (p.Wtime(pr) - start) / sim.Time(iters)
-			}
-		})
+// AlltoallScale measures one n-byte-per-pair Alltoall across `nodes` ranks.
+func AlltoallScale(kind cluster.Kind, nodes, n, iters int, opts ScaleOpts) (ScaleResult, error) {
+	return collectiveScale(kind, nodes, iters, opts, func(p *mpi.Process, pr *sim.Proc) func(*sim.Proc) {
+		send := p.Host().Mem.Alloc(nodes * n)
+		recv := p.Host().Mem.Alloc(nodes * n)
+		send.Fill(byte(p.Rank()))
+		return func(pr *sim.Proc) { p.Alltoall(pr, send, recv, n) }
+	})
+}
+
+// AllgatherScale measures one n-byte-per-rank Allgather across `nodes`.
+func AllgatherScale(kind cluster.Kind, nodes, n, iters int, opts ScaleOpts) (ScaleResult, error) {
+	return collectiveScale(kind, nodes, iters, opts, func(p *mpi.Process, pr *sim.Proc) func(*sim.Proc) {
+		buf := p.Host().Mem.Alloc(nodes * n)
+		buf.Fill(byte(p.Rank()))
+		return func(pr *sim.Proc) { p.Allgather(pr, buf, n) }
+	})
+}
+
+// AllreduceScale measures one n-byte Allreduce (float64 sum) across `nodes`.
+func AllreduceScale(kind cluster.Kind, nodes, n, iters int, opts ScaleOpts) (ScaleResult, error) {
+	if n%8 != 0 {
+		panic(fmt.Sprintf("bench: allreduce size %d is not a float64 vector", n))
 	}
-	if err := tb.Run(); err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
-	}
-	return total
+	return collectiveScale(kind, nodes, iters, opts, func(p *mpi.Process, pr *sim.Proc) func(*sim.Proc) {
+		buf := p.Host().Mem.Alloc(n)
+		return func(pr *sim.Proc) { p.Allreduce(pr, mpi.SumFloat64, buf, 0, n) }
+	})
+}
+
+// HaloScale measures one halo-exchange step on a periodic px x py process
+// grid (rank = y*px + x): every rank swaps an n-byte face with each grid
+// neighbour via non-blocking send/recv pairs — the communication kernel of
+// stencil applications, and the sparse-graph case LazyConnect exists for.
+// Column neighbours sit px ranks apart, so once px exceeds the hosts per
+// leaf every column exchange crosses the trunks.
+func HaloScale(kind cluster.Kind, px, py, n, iters int, opts ScaleOpts) (ScaleResult, error) {
+	nodes := px * py
+	// Face tags per direction; matching is per (src, tag), and distances
+	// are symmetric, so reuse across rounds is unambiguous.
+	const tagX, tagY = 1, 2
+	return collectiveScale(kind, nodes, iters, opts, func(p *mpi.Process, pr *sim.Proc) func(*sim.Proc) {
+		x, y := p.Rank()%px, p.Rank()/px
+		var peers []int
+		var tags []int
+		if px > 1 {
+			peers = append(peers, y*px+(x+1)%px, y*px+(x-1+px)%px)
+			tags = append(tags, tagX, tagX)
+		}
+		if py > 1 {
+			peers = append(peers, ((y+1)%py)*px+x, ((y-1+py)%py)*px+x)
+			tags = append(tags, tagY, tagY)
+		}
+		sbuf := p.Host().Mem.Alloc(max(len(peers), 1) * n)
+		rbuf := p.Host().Mem.Alloc(max(len(peers), 1) * n)
+		sbuf.Fill(byte(p.Rank()))
+		reqs := make([]*mpi.Request, 0, 2*len(peers))
+		return func(pr *sim.Proc) {
+			reqs = reqs[:0]
+			for i, peer := range peers {
+				reqs = append(reqs,
+					p.Isend(pr, peer, tags[i], sbuf, i*n, n),
+					p.Irecv(pr, peer, tags[i], rbuf, i*n, n))
+			}
+			p.WaitAll(pr, reqs)
+		}
+	})
+}
+
+// AlltoallTime measures the completion time of one n-byte-per-pair
+// Alltoall across `nodes` ranks on the single-switch testbed.
+func AlltoallTime(kind cluster.Kind, nodes, n, iters int) (sim.Time, error) {
+	res, err := AlltoallScale(kind, nodes, n, iters, ScaleOpts{})
+	return res.Time, err
+}
+
+// AllgatherTime measures one n-byte-per-rank Allgather across `nodes` on
+// the single-switch testbed.
+func AllgatherTime(kind cluster.Kind, nodes, n, iters int) (sim.Time, error) {
+	res, err := AllgatherScale(kind, nodes, n, iters, ScaleOpts{})
+	return res.Time, err
 }
 
 // ExtScalingAlltoall builds the node-count sweep for Alltoall (the
@@ -96,7 +196,11 @@ func ExtScalingAlltoall(nodeCounts []int, n int) Figure {
 		YLabel: "time per alltoall (us)",
 	}
 	fig.Series = gridSeries(kindLabels(""), floats(nodeCounts), func(si, xi int) float64 {
-		return AlltoallTime(cluster.Kinds[si], nodeCounts[xi], n, 4).Micros()
+		t, err := AlltoallTime(cluster.Kinds[si], nodeCounts[xi], n, 4)
+		if err != nil {
+			panic(fmt.Sprintf("bench: clean alltoall run failed: %v", err))
+		}
+		return t.Micros()
 	})
 	return fig
 }
@@ -110,7 +214,11 @@ func ExtScalingAllgather(nodeCounts []int, n int) Figure {
 		YLabel: "time per allgather (us)",
 	}
 	fig.Series = gridSeries(kindLabels(""), floats(nodeCounts), func(si, xi int) float64 {
-		return AllgatherTime(cluster.Kinds[si], nodeCounts[xi], n, 4).Micros()
+		t, err := AllgatherTime(cluster.Kinds[si], nodeCounts[xi], n, 4)
+		if err != nil {
+			panic(fmt.Sprintf("bench: clean allgather run failed: %v", err))
+		}
+		return t.Micros()
 	})
 	return fig
 }

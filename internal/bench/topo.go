@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+// The multi-switch figure family: the paper's four-node testbed hangs every
+// host off one switch, so its results never see inter-switch contention.
+// These figures re-run the scaling kernels on two-level leaf–spine fabrics
+// at increasing oversubscription (1:1 fat tree, then 2:1 and 4:1 trunk
+// starvation) and growing rank counts, asking two questions the single
+// switch cannot: how fast does contention on the shared trunks grow, and
+// does iWARP's multi-connection advantage over IB at small messages survive
+// once the job spans many switches.
+
+// TopoHostsPerLeaf is the leaf radix of the topology figures: 8 hosts per
+// leaf switch, so 16 ranks span 2 leaves and 64 ranks span 8.
+const TopoHostsPerLeaf = 8
+
+// TopoRanks is the rank-count axis of the collective topology figures.
+var TopoRanks = []int{16, 32, 64}
+
+// TopoRatios is the oversubscription sweep (hosts per leaf : spine trunks).
+var TopoRatios = []int{1, 2, 4}
+
+// TopoHaloGrids is the process-grid axis of the halo figure, as {px, py}:
+// 16, 36 (non-power-of-two), 64 and 128 ranks. Column neighbours sit px
+// ranks apart — at least one leaf away for every grid here — so the halo
+// column faces always cross the trunks.
+var TopoHaloGrids = [][2]int{{4, 4}, {6, 6}, {8, 8}, {16, 8}}
+
+// topoSpec builds the leaf–spine spec for one oversubscription ratio.
+func topoSpec(ratio int) *fabric.TopologySpec {
+	return fabric.LeafSpine(TopoHostsPerLeaf, ratio)
+}
+
+// topoCell is one (stack, ratio, rank-count) run outcome. Failed cells keep
+// the error; the series builders skip them, so a degraded world renders as
+// a missing point ("-" in tables, an empty CSV cell), not a dead figure.
+type topoCell struct {
+	res ScaleResult
+	err error
+}
+
+// topoLabels names one series per stack x ratio, stack-major so each
+// stack's contention growth reads as an adjacent column group.
+func topoLabels(ratios []int) []string {
+	var labels []string
+	for _, kind := range cluster.Kinds {
+		for _, ratio := range ratios {
+			labels = append(labels, fmt.Sprintf("%s %d:1", kind, ratio))
+		}
+	}
+	return labels
+}
+
+// topoGrid runs one cell per (stack x ratio, x) on the worker pool.
+// run gets the stack, the ratio and the x index.
+func topoGrid(ratios []int, nx int, run func(kind cluster.Kind, ratio, xi int) (ScaleResult, error)) []topoCell {
+	cells := make([]topoCell, len(cluster.Kinds)*len(ratios)*nx)
+	forEachWorld(len(cells), func(i int) {
+		si, xi := i/nx, i%nx
+		kind := cluster.Kinds[si/len(ratios)]
+		ratio := ratios[si%len(ratios)]
+		cells[i].res, cells[i].err = run(kind, ratio, xi)
+	})
+	return cells
+}
+
+// topoSeries assembles one Series per label from the cell grid, skipping
+// failed cells.
+func topoSeries(ratios []int, xs []float64, cells []topoCell, y func(ScaleResult) float64) []Series {
+	labels := topoLabels(ratios)
+	out := make([]Series, len(labels))
+	for si, label := range labels {
+		s := Series{Label: label}
+		for xi, x := range xs {
+			c := cells[si*len(xs)+xi]
+			if c.err != nil {
+				continue
+			}
+			s.Points = append(s.Points, Point{X: x, Y: y(c.res)})
+		}
+		out[si] = s
+	}
+	return out
+}
+
+// TopoAlltoall builds the small-message Alltoall sweep over leaf–spine
+// fabrics — and, from the same runs, the peak trunk-utilization figure
+// that shows where the time goes: as oversubscription rises the surviving
+// trunks saturate, and completion time inflates in step. The message size
+// sits in the eager regime, where the paper's multiple-connection result
+// (iWARP flat, IB degrading past its QP context cache) is at stake.
+func TopoAlltoall(ranks, ratios []int, n int) []Figure {
+	xs := floats(ranks)
+	cells := topoGrid(ratios, len(xs), func(kind cluster.Kind, ratio, xi int) (ScaleResult, error) {
+		return AlltoallScale(kind, ranks[xi], n, 2, ScaleOpts{Topology: topoSpec(ratio)})
+	})
+	return []Figure{
+		{
+			ID:     "topo-alltoall",
+			Title:  fmt.Sprintf("Alltoall on leaf-spine fabrics (%dB per pair, %d hosts/leaf)", n, TopoHostsPerLeaf),
+			XLabel: "ranks",
+			YLabel: "time per alltoall (us)",
+			Series: topoSeries(ratios, xs, cells, func(r ScaleResult) float64 { return r.Time.Micros() }),
+		},
+		{
+			ID:     "topo-trunk-util",
+			Title:  fmt.Sprintf("Peak trunk utilization during Alltoall (%dB per pair)", n),
+			XLabel: "ranks",
+			YLabel: "peak per-direction trunk utilization (%)",
+			Series: topoSeries(ratios, xs, cells, func(r ScaleResult) float64 { return float64(r.TrunkUtilBP) / 100 }),
+		},
+	}
+}
+
+// TopoAllgather builds the Allgather sweep: the ring algorithm sends each
+// block around every rank, so cross-leaf hops dominate as leaves multiply.
+func TopoAllgather(ranks, ratios []int, n int) Figure {
+	xs := floats(ranks)
+	cells := topoGrid(ratios, len(xs), func(kind cluster.Kind, ratio, xi int) (ScaleResult, error) {
+		return AllgatherScale(kind, ranks[xi], n, 2, ScaleOpts{Topology: topoSpec(ratio)})
+	})
+	return Figure{
+		ID:     "topo-allgather",
+		Title:  fmt.Sprintf("Allgather on leaf-spine fabrics (%dB per rank)", n),
+		XLabel: "ranks",
+		YLabel: "time per allgather (us)",
+		Series: topoSeries(ratios, xs, cells, func(r ScaleResult) float64 { return r.Time.Micros() }),
+	}
+}
+
+// TopoAllreduce builds the Allreduce sweep at a rendezvous-sized vector:
+// reduce-then-broadcast trees cross the trunks on most edges, and the
+// RDMA-read/write rendezvous exchanges are what large stencil codes do
+// between steps.
+func TopoAllreduce(ranks, ratios []int, n int) Figure {
+	xs := floats(ranks)
+	cells := topoGrid(ratios, len(xs), func(kind cluster.Kind, ratio, xi int) (ScaleResult, error) {
+		return AllreduceScale(kind, ranks[xi], n, 2, ScaleOpts{Topology: topoSpec(ratio)})
+	})
+	return Figure{
+		ID:     "topo-allreduce",
+		Title:  fmt.Sprintf("Allreduce on leaf-spine fabrics (%dB float64 vector)", n),
+		XLabel: "ranks",
+		YLabel: "time per allreduce (us)",
+		Series: topoSeries(ratios, xs, cells, func(r ScaleResult) float64 { return r.Time.Micros() }),
+	}
+}
+
+// TopoHalo builds the halo-exchange sweep on periodic process grids. Row
+// neighbours often share a leaf; column neighbours never do, so the
+// kernel mixes intra-leaf and trunk traffic the way a real stencil
+// decomposition does. The grids include a non-power-of-two world (6x6)
+// and a 128-rank world that is only affordable because LazyConnect wires
+// just the neighbour pairs.
+func TopoHalo(grids [][2]int, ratios []int, n int) Figure {
+	xs := make([]float64, len(grids))
+	for i, g := range grids {
+		xs[i] = float64(g[0] * g[1])
+	}
+	cells := topoGrid(ratios, len(xs), func(kind cluster.Kind, ratio, xi int) (ScaleResult, error) {
+		return HaloScale(kind, grids[xi][0], grids[xi][1], n, 2, ScaleOpts{Topology: topoSpec(ratio)})
+	})
+	return Figure{
+		ID:     "topo-halo",
+		Title:  fmt.Sprintf("Halo exchange on leaf-spine fabrics (%dB faces)", n),
+		XLabel: "ranks",
+		YLabel: "time per halo step (us)",
+		Series: topoSeries(ratios, xs, cells, func(r ScaleResult) float64 { return r.Time.Micros() }),
+	}
+}

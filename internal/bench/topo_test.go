@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// noErr fails the test on a clean-run error.
+func noErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("clean topology run failed: %v", err)
+	}
+}
+
+func TestTopoContentionGrowsWithOversubscription(t *testing.T) {
+	// Same job, same fabric rate — only the trunk count shrinks. The
+	// surviving trunks must run hotter and the rendezvous-heavy allreduce
+	// (whose tree edges almost all cross leaves) must take longer. An
+	// eager-regime alltoall leaves the trunks far from saturation, so its
+	// time is allowed to wobble with the ECMP spread; the bulk collective
+	// is where oversubscription has to show up.
+	flat, err := AllreduceScale(cluster.IWARP, 32, 8<<10, 2, ScaleOpts{Topology: topoSpec(1)})
+	noErr(t, err)
+	over, err := AllreduceScale(cluster.IWARP, 32, 8<<10, 2, ScaleOpts{Topology: topoSpec(4)})
+	noErr(t, err)
+	if over.Time <= flat.Time {
+		t.Errorf("4:1 oversubscription did not slow allreduce: 1:1 %v, 4:1 %v", flat.Time, over.Time)
+	}
+	if over.TrunkUtilBP <= flat.TrunkUtilBP {
+		t.Errorf("4:1 trunks not hotter: 1:1 %d bp, 4:1 %d bp", flat.TrunkUtilBP, over.TrunkUtilBP)
+	}
+}
+
+func TestTopoSmallMessageCrossoverPersists(t *testing.T) {
+	// The paper's multiple-connection result at fabric scale: 64 ranks on
+	// an oversubscribed leaf-spine is 63 QP pairs per process, far past
+	// the IB QP context cache, while iWARP's pipelined engine keeps
+	// per-connection state flat. The small-message advantage must survive
+	// the multi-switch fabric.
+	iw, err := AlltoallScale(cluster.IWARP, 64, 512, 2, ScaleOpts{Topology: topoSpec(2)})
+	noErr(t, err)
+	ib, err := AlltoallScale(cluster.IB, 64, 512, 2, ScaleOpts{Topology: topoSpec(2)})
+	noErr(t, err)
+	if iw.Time >= ib.Time {
+		t.Errorf("at 64 ranks on 2:1 leaf-spine iWARP (%v) should beat IB (%v)", iw.Time, ib.Time)
+	}
+}
+
+func TestTopoRunsAreDeterministic(t *testing.T) {
+	a, err := HaloScale(cluster.IB, 6, 6, 2<<10, 2, ScaleOpts{Topology: topoSpec(4)})
+	noErr(t, err)
+	b, err := HaloScale(cluster.IB, 6, 6, 2<<10, 2, ScaleOpts{Topology: topoSpec(4)})
+	noErr(t, err)
+	if a != b {
+		t.Errorf("identical halo runs disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestTopoHaloNonPowerOfTwoGrid(t *testing.T) {
+	// 6x6 = 36 ranks: non-power-of-two world sizes exercise the collective
+	// trees' remainder paths and the dissemination barrier's last round.
+	res, err := HaloScale(cluster.MXoE, 6, 6, 1<<10, 2, ScaleOpts{Topology: topoSpec(2)})
+	noErr(t, err)
+	if res.Time <= 0 {
+		t.Errorf("halo step took %v", res.Time)
+	}
+	if res.TrunkUtilBP <= 0 {
+		t.Errorf("column faces cross leaves, trunks cannot be idle: %d bp", res.TrunkUtilBP)
+	}
+}

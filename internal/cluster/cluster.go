@@ -163,11 +163,17 @@ func New(kind Kind, nodes int) *Testbed {
 }
 
 // Options overrides the calibrated NIC configurations, for ablation studies
-// (pipeline width, context-cache size, MPA framing, thresholds).
+// (pipeline width, context-cache size, MPA framing, thresholds), and the
+// fabric shape for beyond-the-testbed scaling experiments.
 type Options struct {
 	IWARP *iwarp.Config
 	IB    *ib.Config
 	MX    *mx.Config
+
+	// Topology, when non-nil, replaces the single switch with a
+	// multi-switch leaf–spine fabric (see fabric.NewWithTopology). Host i
+	// attaches to leaf i/HostsPerLeaf.
+	Topology *fabric.TopologySpec
 }
 
 // OnNew, when non-nil, is invoked with every freshly-built Testbed before it
@@ -184,7 +190,7 @@ func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
 	}
 	eng := sim.NewEngine()
 	tb := &Testbed{Eng: eng, Kind: kind}
-	tb.Fabric = fabric.New(eng, FabricConfig(kind))
+	tb.Fabric = fabric.NewWithTopology(eng, FabricConfig(kind), opts.Topology)
 	for i := 0; i < nodes; i++ {
 		name := fmt.Sprintf("node%d", i)
 		h := &Host{Name: name, Mem: mem.NewMemory(eng, name)}

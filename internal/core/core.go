@@ -227,6 +227,35 @@ func Experiments() []Experiment {
 				}
 			},
 		},
+		{
+			ID:    "topo",
+			Title: "Multi-switch leaf-spine fabrics: collectives and halo exchange under oversubscription (topology extension)",
+			Paper: "the paper's testbed hangs all four nodes off one switch; Section 7 asks how the stacks behave in a larger " +
+				"testbed. Expectation: contention grows with trunk oversubscription for every stack, and iWARP's small-message " +
+				"multiple-connection advantage over IB (Figure 2) persists at 64 ranks across switches",
+			Run: func(scale int) []bench.Figure {
+				ranks := thin(bench.TopoRanks, scale)
+				ratios := thin(bench.TopoRatios, scale)
+				grids := bench.TopoHaloGrids
+				if scale > 1 {
+					thinned := grids[:0:0]
+					for i := 0; i < len(grids); i += scale {
+						thinned = append(thinned, grids[i])
+					}
+					if thinned[len(thinned)-1] != grids[len(grids)-1] {
+						thinned = append(thinned, grids[len(grids)-1])
+					}
+					grids = thinned
+				}
+				figs := bench.TopoAlltoall(ranks, ratios, 512)
+				figs = append(figs,
+					bench.TopoAllgather(ranks, ratios, 1<<10),
+					bench.TopoAllreduce(ranks, ratios, 8<<10),
+					bench.TopoHalo(grids, ratios, 2<<10),
+				)
+				return figs
+			},
+		},
 	}
 }
 

@@ -1,6 +1,8 @@
-// Package fabric models a single-switch, full-duplex, lossless (by default)
-// switched network: the topology used throughout the paper's testbed (four
-// nodes on one 10-Gigabit Ethernet, InfiniBand or Myrinet switch).
+// Package fabric models a full-duplex, lossless (by default) switched
+// network. The default shape is the paper's testbed — four nodes on one
+// 10-Gigabit Ethernet, InfiniBand or Myrinet switch — and NewWithTopology
+// scales the same primitives into multi-switch leaf–spine fabrics with
+// deterministic ECMP path selection (see topology.go).
 //
 // The model captures the three properties the experiments depend on:
 // serialization at line rate on every link, per-hop latency (propagation and
@@ -29,6 +31,14 @@ type Frame struct {
 	Src, Dst NodeID
 	Bytes    int
 	Payload  any
+
+	// Flow identifies the connection the frame belongs to (the sending QP
+	// number on the verbs stacks; zero where the source has no connection
+	// id). Multi-switch topologies hash it — together with Src and Dst —
+	// into the ECMP spine choice, so distinct connections between the same
+	// host pair can take distinct paths while each connection stays on one
+	// path (in-order delivery per flow, as real ECMP provides).
+	Flow int
 
 	// Corrupt marks the frame's payload as damaged on the wire. The fabric
 	// still delivers it (the bits arrive, they are just wrong); the endpoint
@@ -136,8 +146,12 @@ type Network struct {
 	delivered int64
 	dropped   int64
 
+	// topo is nil for the single-switch model; see topology.go.
+	topo *topology
+
 	cFrames, cWireBytes, cDelivered, cDropped *metrics.Counter
-	hSrcQueue, hEgQueue                       *metrics.Histogram
+	cTrunkFrames, cTrunkBytes                 *metrics.Counter
+	hSrcQueue, hEgQueue, hTrunkQueue          *metrics.Histogram
 }
 
 // New creates a network with the given configuration.
@@ -161,6 +175,26 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	return n
 }
 
+// NewWithTopology creates a multi-switch network (see topology.go): hosts
+// attach to leaf switches in port order and cross-leaf frames traverse two
+// trunk hops through a deterministically chosen spine. The spec is copied;
+// a nil spec yields the plain single-switch network.
+func NewWithTopology(eng *sim.Engine, cfg Config, spec *TopologySpec) *Network {
+	n := New(eng, cfg)
+	if spec == nil {
+		return n
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
+	}
+	n.topo = &topology{spec: *spec}
+	reg := eng.Metrics()
+	n.cTrunkFrames = reg.Counter("fabric.trunk_frames")
+	n.cTrunkBytes = reg.Counter("fabric.trunk_wire_bytes")
+	n.hTrunkQueue = reg.Histogram("fabric.trunk_queue_delay_ps", metrics.ExpBuckets(1e3, 4, 15))
+	return n
+}
+
 // Engine returns the simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
@@ -178,6 +212,9 @@ func (n *Network) Attach(ep Endpoint) *Port {
 		dnTrack: fmt.Sprintf("link.%s.dn.%d", n.cfg.Name, id),
 	}
 	n.ports = append(n.ports, p)
+	if n.topo != nil {
+		n.ensureLeaf(n.topo.leafOf(id))
+	}
 	return p
 }
 
@@ -237,13 +274,13 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 		return txEnd
 	}
 
-	// When does the switch have enough of the frame to forward it?
-	var ready sim.Time
-	if n.cfg.CutThrough {
-		hdr := p.up.txTime(n.cfg.LinkRate, min(wire, n.cfg.HeaderBytes))
-		ready = txStart + hdr + n.cfg.PropDelay + n.cfg.SwitchLatency
-	} else {
-		ready = txEnd + n.cfg.PropDelay + n.cfg.SwitchLatency
+	// When does the (ingress) switch have enough of the frame to forward it?
+	ready := n.forwardReady(&p.up, n.cfg.LinkRate, txStart, txEnd, wire)
+	if n.topo != nil {
+		// Cross-leaf frames hop leaf -> spine -> leaf before the egress
+		// port; same-leaf frames return `ready` unchanged, keeping the
+		// single-switch arithmetic byte-identical.
+		ready = n.routeTrunks(f, ready, wire)
 	}
 
 	dst := n.ports[f.Dst]
@@ -290,6 +327,23 @@ func (n *Network) PublishLinkMetrics() {
 		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_bytes", p.id)).Set(p.dn.bytes) //simlint:allow tracekeys per-port gauge name; see comment above
 		reg.Gauge(fmt.Sprintf("fabric.port%d.up_util_bp", p.id)).Set(upUtil)   //simlint:allow tracekeys per-port gauge name; see comment above
 		reg.Gauge(fmt.Sprintf("fabric.port%d.dn_util_bp", p.id)).Set(dnUtil)   //simlint:allow tracekeys per-port gauge name; see comment above
+	}
+	if n.topo == nil {
+		return
+	}
+	for _, t := range n.topo.trunks {
+		upUtil, dnUtil := int64(0), int64(0)
+		if elapsed > 0 {
+			upUtil = int64(t.up.busy) * 10000 / int64(elapsed)
+			dnUtil = int64(t.dn.busy) * 10000 / int64(elapsed)
+		}
+		// Like the per-port gauges: trunk indices are assigned densely at
+		// attach time, so the name set is deterministic, and this is a
+		// once-per-run cold path.
+		reg.Gauge(fmt.Sprintf("fabric.trunk.l%ds%d.up_bytes", t.leaf, t.spine)).Set(t.up.bytes) //simlint:allow tracekeys per-trunk gauge name; see comment above
+		reg.Gauge(fmt.Sprintf("fabric.trunk.l%ds%d.dn_bytes", t.leaf, t.spine)).Set(t.dn.bytes) //simlint:allow tracekeys per-trunk gauge name; see comment above
+		reg.Gauge(fmt.Sprintf("fabric.trunk.l%ds%d.up_util_bp", t.leaf, t.spine)).Set(upUtil)   //simlint:allow tracekeys per-trunk gauge name; see comment above
+		reg.Gauge(fmt.Sprintf("fabric.trunk.l%ds%d.dn_util_bp", t.leaf, t.spine)).Set(dnUtil)   //simlint:allow tracekeys per-trunk gauge name; see comment above
 	}
 }
 

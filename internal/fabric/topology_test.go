@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// topoNet builds an 8-host leaf–spine network (4 hosts per leaf) with the
+// same per-link parameters as testNet, so single-switch expectations carry
+// over hop by hop.
+func topoNet(eng *sim.Engine, cut bool, spines int) (*Network, []*sink) {
+	cfg := Config{
+		Name:          "topo",
+		LinkRate:      sim.Gbps(10), // 1.25 GB/s: 1250 B = 1us
+		FrameOverhead: 0,
+		HeaderBytes:   64,
+		SwitchLatency: 100 * sim.Nanosecond,
+		PropDelay:     25 * sim.Nanosecond,
+		CutThrough:    cut,
+	}
+	n := NewWithTopology(eng, cfg, &TopologySpec{HostsPerLeaf: 4, Spines: spines})
+	sinks := make([]*sink, 8)
+	for i := range sinks {
+		sinks[i] = &sink{eng: eng}
+		n.Attach(sinks[i])
+	}
+	return n, sinks
+}
+
+func TestSameLeafMatchesSingleSwitch(t *testing.T) {
+	// The topology layer must be invisible inside a leaf: a frame between
+	// two hosts of the same leaf takes the byte-identical single-switch
+	// path, in both forwarding modes.
+	for _, cut := range []bool{false, true} {
+		single := sim.NewEngine()
+		n1, s1 := testNet(single, cut)
+		single.Schedule(0, func() {
+			n1.portAt(0).Send(&Frame{Src: 0, Dst: 1, Bytes: 1250})
+		})
+		if err := single.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		multi := sim.NewEngine()
+		n2, s2 := topoNet(multi, cut, 2)
+		multi.Schedule(0, func() {
+			n2.portAt(0).Send(&Frame{Src: 0, Dst: 1, Bytes: 1250})
+		})
+		if err := multi.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		if len(s2[1].times) != 1 || s1[1].times[0] != s2[1].times[0] {
+			t.Errorf("cut=%v: same-leaf arrival %v != single-switch arrival %v", cut, s2[1].times, s1[1].times)
+		}
+	}
+}
+
+func TestCrossLeafPaysTwoTrunkHops(t *testing.T) {
+	// Store-and-forward: same-leaf arrival is 2150ns (tx 1000 + prop 25 +
+	// switch 100 + egress 1000 + prop 25). A cross-leaf frame reserializes
+	// on two trunks, each adding 1000 + 25 + 100 = 1125ns.
+	eng := sim.NewEngine()
+	n, sinks := topoNet(eng, false, 2)
+	eng.Schedule(0, func() {
+		n.portAt(0).Send(&Frame{Src: 0, Dst: 1, Bytes: 1250})
+		n.portAt(1).Send(&Frame{Src: 1, Dst: 5, Bytes: 1250})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sinks[1].times[0], 2150*sim.Nanosecond; got != want {
+		t.Errorf("same-leaf arrival = %v, want %v", got, want)
+	}
+	if got, want := sinks[5].times[0], 4400*sim.Nanosecond; got != want {
+		t.Errorf("cross-leaf arrival = %v, want %v", got, want)
+	}
+}
+
+func TestECMPIsDeterministicAndSpreads(t *testing.T) {
+	const spines = 4
+	seen := map[int]bool{}
+	for flow := 0; flow < 64; flow++ {
+		s := ecmpSpine(0, 5, flow, spines)
+		if s < 0 || s >= spines {
+			t.Fatalf("spine %d outside [0, %d)", s, spines)
+		}
+		if again := ecmpSpine(0, 5, flow, spines); again != s {
+			t.Fatalf("flow %d: spine %d then %d", flow, s, again)
+		}
+		seen[s] = true
+	}
+	if len(seen) < spines {
+		t.Errorf("64 flows landed on only %d of %d spines", len(seen), spines)
+	}
+	if ecmpSpine(0, 5, 1, spines) == ecmpSpine(0, 5, 2, spines) &&
+		ecmpSpine(0, 5, 1, spines) == ecmpSpine(0, 5, 3, spines) &&
+		ecmpSpine(0, 5, 1, spines) == ecmpSpine(0, 5, 4, spines) {
+		t.Errorf("flows 1-4 between the same pair all hashed onto one spine")
+	}
+}
+
+func TestOversubscribedTrunkSerializes(t *testing.T) {
+	// One spine (4:1): two simultaneous cross-leaf frames from different
+	// hosts share the single trunk; distinct egress links make the trunk
+	// the only shared resource, so arrivals differ by exactly one trunk
+	// serialization (1us).
+	eng := sim.NewEngine()
+	n, sinks := topoNet(eng, false, 1)
+	eng.Schedule(0, func() {
+		n.portAt(0).Send(&Frame{Src: 0, Dst: 4, Bytes: 1250})
+		n.portAt(1).Send(&Frame{Src: 1, Dst: 5, Bytes: 1250})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[4].times) != 1 || len(sinks[5].times) != 1 {
+		t.Fatalf("deliveries: %d to host 4, %d to host 5", len(sinks[4].times), len(sinks[5].times))
+	}
+	first, second := sinks[4].times[0], sinks[5].times[0]
+	if second < first {
+		first, second = second, first
+	}
+	if got, want := second-first, 1000*sim.Nanosecond; got != want {
+		t.Errorf("trunk queueing spread arrivals by %v, want %v", got, want)
+	}
+}
+
+func TestTrunkStatsAndUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	n, _ := topoNet(eng, false, 1)
+	eng.Schedule(0, func() {
+		n.portAt(0).Send(&Frame{Src: 0, Dst: 4, Bytes: 1250})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	trunk := n.Trunk(0, 0) // source leaf's uplink
+	if frames, bytes := trunk.UpStats(); frames != 1 || bytes != 1250 {
+		t.Errorf("leaf-0 trunk up carried %d frames / %d bytes, want 1 / 1250", frames, bytes)
+	}
+	if frames, _ := n.Trunk(1, 0).DownStats(); frames != 1 {
+		t.Errorf("leaf-1 trunk down carried %d frames, want 1", frames)
+	}
+	if bp := n.MaxTrunkUtilBP(); bp <= 0 || bp > 10000 {
+		t.Errorf("peak trunk utilization %d bp outside (0, 10000]", bp)
+	}
+}
+
+func TestTrunkSlowdownDoublesTrunkSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	n, sinks := topoNet(eng, false, 1)
+	n.Trunk(0, 0).SetSlowdown(0.5)
+	eng.Schedule(0, func() {
+		n.portAt(0).Send(&Frame{Src: 0, Dst: 4, Bytes: 1250})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Up trunk at half rate serializes in 2000ns instead of 1000ns; the
+	// down trunk (a distinct Trunk object on leaf 1) is untouched.
+	if got, want := sinks[4].times[0], 5400*sim.Nanosecond; got != want {
+		t.Errorf("cross-leaf arrival with slow trunk = %v, want %v", got, want)
+	}
+}
+
+func TestSingleSwitchAccessors(t *testing.T) {
+	eng := sim.NewEngine()
+	n, _ := testNet(eng, false)
+	if n.Topology() != nil || n.Leaves() != 0 || n.Spines() != 0 || n.LeafOf(3) != 0 {
+		t.Errorf("single-switch network leaked topology state")
+	}
+	if n.MaxTrunkUtilBP() != 0 {
+		t.Errorf("single-switch network reported trunk utilization")
+	}
+}

@@ -143,6 +143,15 @@ func (inj *Injector) checkScope(i int, cl Clause, nics []EngineStaller) error {
 	if err := checkPort("port", cl.Port); err != nil {
 		return err
 	}
+	if cl.Leaf != -1 {
+		if inj.net.Topology() == nil {
+			return fmt.Errorf("faults: clause %d (%s): trunk (leaf %d, spine %d) on a single-switch network", i, cl.Kind, cl.Leaf, cl.Spine)
+		}
+		if cl.Leaf >= inj.net.Leaves() || cl.Spine >= inj.net.Spines() {
+			return fmt.Errorf("faults: clause %d (%s): trunk (leaf %d, spine %d) outside the %dx%d leaf-spine fabric",
+				i, cl.Kind, cl.Leaf, cl.Spine, inj.net.Leaves(), inj.net.Spines())
+		}
+	}
 	if cl.Kind == KindNICStall {
 		if cl.Port == -1 {
 			for _, s := range nics {
@@ -171,6 +180,37 @@ func (inj *Injector) targetPorts(port int) []*fabric.Port {
 	return ports
 }
 
+// linkCtl is the stall/slowdown control surface shared by host ports and
+// inter-switch trunks; flap and rate clauses drive either through it.
+type linkCtl interface {
+	StallUp(until sim.Time)
+	StallDown(until sim.Time)
+	SetSlowdown(factor float64)
+}
+
+// targetLinks resolves a flap/rate clause to the links it drives: the
+// named trunk for trunk clauses, the host port(s) otherwise.
+func (inj *Injector) targetLinks(cl Clause) []linkCtl {
+	if cl.Leaf != -1 {
+		return []linkCtl{inj.net.Trunk(cl.Leaf, cl.Spine)}
+	}
+	ports := inj.targetPorts(cl.Port)
+	links := make([]linkCtl, len(ports))
+	for i, p := range ports {
+		links[i] = p
+	}
+	return links
+}
+
+// linkAttrs names the clause's target in trace instants: port for host
+// links, leaf+spine for trunks.
+func linkAttrs(cl Clause) []trace.Attr {
+	if cl.Leaf != -1 {
+		return []trace.Attr{trace.I64("leaf", int64(cl.Leaf)), trace.I64("spine", int64(cl.Spine))}
+	}
+	return []trace.Attr{trace.I64("port", int64(cl.Port))}
+}
+
 // startAt clamps a clause timestamp to the current virtual time, so
 // scenarios attached mid-run begin immediately rather than panicking on a
 // past timestamp.
@@ -182,15 +222,16 @@ func (inj *Injector) startAt(d Duration) sim.Time {
 }
 
 // scheduleFlap arranges a stall-mode flap: at From, both directions of the
-// target link(s) become unavailable until Until. Lossless fabrics see this
-// as link-level flow control holding the sender off; nothing is lost.
+// target link(s) — host ports or a leaf/spine trunk — become unavailable
+// until Until. Lossless fabrics see this as link-level flow control
+// holding the sender off; nothing is lost.
 func (inj *Injector) scheduleFlap(cl Clause) {
-	ports := inj.targetPorts(cl.Port)
+	links := inj.targetLinks(cl)
 	until := cl.Until.T()
 	inj.eng.At(inj.startAt(cl.From), func() {
-		for _, p := range ports {
-			p.StallUp(until)
-			p.StallDown(until)
+		for _, l := range links {
+			l.StallUp(until)
+			l.StallDown(until)
 		}
 	})
 }
@@ -198,35 +239,36 @@ func (inj *Injector) scheduleFlap(cl Clause) {
 // scheduleFlapMarks emits the link-down / link-up trace instants and the
 // flap counter for both flap modes.
 func (inj *Injector) scheduleFlapMarks(cl Clause) {
-	port := int64(cl.Port)
+	attrs := linkAttrs(cl)
 	inj.eng.At(inj.startAt(cl.From), func() {
 		inj.cFlaps.Inc()
-		inj.eng.Trc().Instant("faults", "link-down", trace.I64("port", port), trace.Bool("drop", cl.Drop))
+		inj.eng.Trc().Instant("faults", "link-down", append(attrs, trace.Bool("drop", cl.Drop))...)
 	})
 	inj.eng.At(inj.startAt(cl.Until), func() {
-		inj.eng.Trc().Instant("faults", "link-up", trace.I64("port", port))
+		inj.eng.Trc().Instant("faults", "link-up", attrs...)
 	})
 }
 
 // scheduleRate degrades the target link(s) to cl.Rate of the configured
 // line rate at From and restores full rate at Until (when closed).
 func (inj *Injector) scheduleRate(cl Clause) {
-	ports := inj.targetPorts(cl.Port)
+	links := inj.targetLinks(cl)
+	attrs := linkAttrs(cl)
 	factor := cl.Rate
 	inj.eng.At(inj.startAt(cl.From), func() {
-		for _, p := range ports {
-			p.SetSlowdown(factor)
+		for _, l := range links {
+			l.SetSlowdown(factor)
 		}
 		inj.cRateChanges.Inc()
-		inj.eng.Trc().Instant("faults", "rate-degrade", trace.I64("port", int64(cl.Port)), trace.F64("factor", factor))
+		inj.eng.Trc().Instant("faults", "rate-degrade", append(attrs, trace.F64("factor", factor))...)
 	})
 	if cl.Until != 0 {
 		inj.eng.At(inj.startAt(cl.Until), func() {
-			for _, p := range ports {
-				p.SetSlowdown(1)
+			for _, l := range links {
+				l.SetSlowdown(1)
 			}
 			inj.cRateChanges.Inc()
-			inj.eng.Trc().Instant("faults", "rate-restore", trace.I64("port", int64(cl.Port)))
+			inj.eng.Trc().Instant("faults", "rate-restore", attrs...)
 		})
 	}
 }

@@ -169,6 +169,15 @@ type Clause struct {
 	// (nic-stall) the clause targets; -1 targets all.
 	Port int `json:"port"`
 
+	// Leaf and Spine retarget a flap or rate clause at an inter-switch
+	// trunk of a multi-switch fabric (the trunk between leaf switch Leaf
+	// and spine switch Spine) instead of a host link. Set both or
+	// neither; -1 means "not a trunk clause". Drop-mode flaps cannot
+	// target a trunk: frames choose their spine at route time, so
+	// "frames through this trunk" is not a frame-level scope.
+	Leaf  int `json:"leaf"`
+	Spine int `json:"spine"`
+
 	// Rate is the loss/corruption probability per frame (loss, corrupt),
 	// the remaining rate fraction (rate: 0.25 = link at a quarter speed),
 	// or the egress share consumed by cross-traffic (congest).
@@ -192,7 +201,7 @@ type Clause struct {
 // scoping fields, so JSON scenarios only name what they constrain.
 func (c *Clause) UnmarshalJSON(b []byte) error {
 	type alias Clause // drop the method to avoid recursion
-	a := alias{Src: -1, Dst: -1, Port: -1}
+	a := alias{Src: -1, Dst: -1, Port: -1, Leaf: -1, Spine: -1}
 	dec := json.NewDecoder(strings.NewReader(string(b)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&a); err != nil {
@@ -205,7 +214,7 @@ func (c *Clause) UnmarshalJSON(b []byte) error {
 // Loss returns a clause dropping every frame independently with the given
 // probability.
 func Loss(rate float64) Clause {
-	return Clause{Kind: KindLoss, Rate: rate, Src: -1, Dst: -1, Port: -1}
+	return Clause{Kind: KindLoss, Rate: rate, Src: -1, Dst: -1, Port: -1, Leaf: -1, Spine: -1}
 }
 
 // BurstLoss returns a Gilbert–Elliott clause: pBad and pGood are the
@@ -213,17 +222,17 @@ func Loss(rate float64) Clause {
 // state is lossless and the bad state drops everything. Tune the loss
 // probabilities through the LossGood/LossBad fields if needed.
 func BurstLoss(pBad, pGood float64) Clause {
-	return Clause{Kind: KindBurstLoss, PBad: pBad, PGood: pGood, LossBad: 1, Src: -1, Dst: -1, Port: -1}
+	return Clause{Kind: KindBurstLoss, PBad: pBad, PGood: pGood, LossBad: 1, Src: -1, Dst: -1, Port: -1, Leaf: -1, Spine: -1}
 }
 
 // Corrupt returns a clause corrupting frames with the given probability.
 func Corrupt(rate float64) Clause {
-	return Clause{Kind: KindCorrupt, Rate: rate, Src: -1, Dst: -1, Port: -1}
+	return Clause{Kind: KindCorrupt, Rate: rate, Src: -1, Dst: -1, Port: -1, Leaf: -1, Spine: -1}
 }
 
 // Flap returns a clause pausing node `port`'s link during [from, until).
 func Flap(port int, from, until sim.Time) Clause {
-	return Clause{Kind: KindFlap, Port: port, From: Duration(from), Until: Duration(until), Src: -1, Dst: -1}
+	return Clause{Kind: KindFlap, Port: port, From: Duration(from), Until: Duration(until), Src: -1, Dst: -1, Leaf: -1, Spine: -1}
 }
 
 // FlapDrop is Flap in drop mode: frames sent into the window are lost.
@@ -236,19 +245,33 @@ func FlapDrop(port int, from, until sim.Time) Clause {
 // RateLimit returns a clause running node `port`'s link at factor times the
 // configured rate (0 < factor < 1).
 func RateLimit(port int, factor float64) Clause {
-	return Clause{Kind: KindRate, Port: port, Rate: factor, Src: -1, Dst: -1}
+	return Clause{Kind: KindRate, Port: port, Rate: factor, Src: -1, Dst: -1, Leaf: -1, Spine: -1}
 }
 
 // Congest returns a clause occupying `share` of the switch egress link
 // toward node `port`.
 func Congest(port int, share float64) Clause {
-	return Clause{Kind: KindCongest, Port: port, Rate: share, Src: -1, Dst: -1}
+	return Clause{Kind: KindCongest, Port: port, Rate: share, Src: -1, Dst: -1, Leaf: -1, Spine: -1}
 }
 
 // NICStall returns a clause freezing host `host`'s NIC protocol engine for
 // `stall` every `period`.
 func NICStall(host int, period, stall sim.Time) Clause {
-	return Clause{Kind: KindNICStall, Port: host, Period: Duration(period), Stall: Duration(stall), Src: -1, Dst: -1}
+	return Clause{Kind: KindNICStall, Port: host, Period: Duration(period), Stall: Duration(stall), Src: -1, Dst: -1, Leaf: -1, Spine: -1}
+}
+
+// TrunkFlap returns a clause pausing the trunk between leaf switch `leaf`
+// and spine switch `spine` during [from, until) — a failing inter-switch
+// cable on a multi-switch fabric. Traffic hashed onto other spines is
+// untouched; flows pinned to this trunk stall until the window closes.
+func TrunkFlap(leaf, spine int, from, until sim.Time) Clause {
+	return Clause{Kind: KindFlap, Leaf: leaf, Spine: spine, From: Duration(from), Until: Duration(until), Src: -1, Dst: -1, Port: -1}
+}
+
+// TrunkRateLimit returns a clause running the leaf/spine trunk at factor
+// times the configured trunk rate (0 < factor < 1).
+func TrunkRateLimit(leaf, spine int, factor float64) Clause {
+	return Clause{Kind: KindRate, Leaf: leaf, Spine: spine, Rate: factor, Src: -1, Dst: -1, Port: -1}
 }
 
 // Between bounds the clause to the [from, until) virtual-time window.
@@ -271,6 +294,20 @@ func (c Clause) validate(i int) error {
 	}
 	if c.From < 0 || c.Until < 0 {
 		return bad("negative window [%v, %v)", c.From.T(), c.Until.T())
+	}
+	if (c.Leaf == -1) != (c.Spine == -1) {
+		return bad("trunk targeting needs both leaf and spine (got leaf %d, spine %d)", c.Leaf, c.Spine)
+	}
+	if c.Leaf != -1 {
+		if c.Kind != KindFlap && c.Kind != KindRate {
+			return bad("only flap and rate clauses can target a trunk")
+		}
+		if c.Leaf < 0 || c.Spine < 0 {
+			return bad("trunk indices (leaf %d, spine %d) must be >= 0", c.Leaf, c.Spine)
+		}
+		if c.Drop {
+			return bad("drop-mode flap cannot target a trunk: frames pick a spine at route time")
+		}
 	}
 	if c.Until != 0 && c.Until <= c.From {
 		return bad("window [%v, %v) is empty", c.From.T(), c.Until.T())

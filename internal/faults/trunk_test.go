@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// collector delivers frames and records arrival times.
+type collector struct {
+	eng   *sim.Engine
+	times []sim.Time
+}
+
+func (c *collector) Deliver(f *fabric.Frame) { c.times = append(c.times, c.eng.Now()) }
+
+// trunkNet builds an 8-host leaf–spine fabric (4 hosts per leaf, one
+// shared trunk per leaf) for trunk-clause tests.
+func trunkNet(eng *sim.Engine) (*fabric.Network, []*collector) {
+	cfg := fabric.Config{
+		Name:          "trunktest",
+		LinkRate:      sim.Gbps(10),
+		HeaderBytes:   64,
+		SwitchLatency: 100 * sim.Nanosecond,
+		PropDelay:     25 * sim.Nanosecond,
+	}
+	n := fabric.NewWithTopology(eng, cfg, &fabric.TopologySpec{HostsPerLeaf: 4, Spines: 1})
+	sinks := make([]*collector, 8)
+	for i := range sinks {
+		sinks[i] = &collector{eng: eng}
+		n.Attach(sinks[i])
+	}
+	return n, sinks
+}
+
+func TestTrunkFlapStallsCrossLeafTraffic(t *testing.T) {
+	eng := sim.NewEngine()
+	n, sinks := trunkNet(eng)
+	window := 10 * sim.Microsecond
+	if _, err := Attach(n, nil, New(1).Add(TrunkFlap(0, 0, 0, window))); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(0, func() {
+		n.Port(0).Send(&fabric.Frame{Src: 0, Dst: 4, Bytes: 1250}) // crosses the flapped trunk
+		n.Port(1).Send(&fabric.Frame{Src: 1, Dst: 2, Bytes: 1250}) // stays on leaf 0
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[4].times) != 1 || len(sinks[2].times) != 1 {
+		t.Fatalf("deliveries: %d cross-leaf, %d same-leaf", len(sinks[4].times), len(sinks[2].times))
+	}
+	if got := sinks[4].times[0]; got < window {
+		t.Errorf("cross-leaf frame arrived at %v, inside the [0, %v) trunk flap", got, window)
+	}
+	if got := sinks[2].times[0]; got >= window {
+		t.Errorf("same-leaf frame at %v was delayed by a trunk flap it never crosses", got)
+	}
+}
+
+func TestTrunkRateLimitSlowsTrunkOnly(t *testing.T) {
+	base := sim.NewEngine()
+	n0, s0 := trunkNet(base)
+	_ = n0
+	base.Schedule(0, func() {
+		n0.Port(0).Send(&fabric.Frame{Src: 0, Dst: 4, Bytes: 1250})
+	})
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.NewEngine()
+	n, sinks := trunkNet(eng)
+	if _, err := Attach(n, nil, New(1).Add(TrunkRateLimit(0, 0, 0.5))); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(0, func() {
+		n.Port(0).Send(&fabric.Frame{Src: 0, Dst: 4, Bytes: 1250})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sinks[4].times[0], s0[4].times[0]+1000*sim.Nanosecond; got != want {
+		// Half-rate up trunk adds exactly one extra 1250B serialization.
+		t.Errorf("rate-limited cross-leaf arrival = %v, want %v", got, want)
+	}
+}
+
+func TestTrunkClauseValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	single := fabric.New(eng, fabric.Config{Name: "flat", LinkRate: sim.Gbps(10), HeaderBytes: 64,
+		SwitchLatency: 100 * sim.Nanosecond, PropDelay: 25 * sim.Nanosecond})
+	for i := 0; i < 4; i++ {
+		single.Attach(&collector{eng: eng})
+	}
+	if _, err := Attach(single, nil, New(1).Add(TrunkFlap(0, 0, 0, sim.Microsecond))); err == nil ||
+		!strings.Contains(err.Error(), "single-switch") {
+		t.Errorf("trunk clause on single-switch fabric: err = %v", err)
+	}
+
+	multi := sim.NewEngine()
+	n, _ := trunkNet(multi)
+	if _, err := Attach(n, nil, New(1).Add(TrunkFlap(5, 0, 0, sim.Microsecond))); err == nil ||
+		!strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-range trunk: err = %v", err)
+	}
+
+	drop := TrunkFlap(0, 0, 0, sim.Microsecond)
+	drop.Drop = true
+	if _, err := Attach(n, nil, New(1).Add(drop)); err == nil ||
+		!strings.Contains(err.Error(), "drop-mode") {
+		t.Errorf("drop-mode trunk flap: err = %v", err)
+	}
+
+	half := Loss(0.1)
+	half.Leaf = 2 // spine left -1
+	if _, err := Attach(n, nil, New(1).Add(half)); err == nil ||
+		!strings.Contains(err.Error(), "both leaf and spine") {
+		t.Errorf("half-specified trunk: err = %v", err)
+	}
+}

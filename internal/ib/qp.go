@@ -268,6 +268,7 @@ func (q *QP) emit(pk *packet) {
 		Dst:     q.peer.hca.port.ID(),
 		Bytes:   pk.n + q.hca.cfg.PacketHeader,
 		Payload: pk,
+		Flow:    q.qpn, // per-connection ECMP path on multi-switch fabrics
 	})
 }
 

@@ -332,6 +332,7 @@ func (q *QP) emit(seg tcpsim.Segment) {
 		Dst:     q.peer.rnic.port.ID(),
 		Bytes:   q.conn.WireBytes(seg),
 		Payload: wireSeg{dstQPN: q.peer.qpn, seg: seg},
+		Flow:    q.qpn, // per-connection ECMP path on multi-switch fabrics
 	})
 }
 

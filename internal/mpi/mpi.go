@@ -60,6 +60,15 @@ type Config struct {
 	RegCacheEntries int
 	// WtimeCost is the MPI_Wtime call cost the paper says it accounts for.
 	WtimeCost sim.Time
+	// LazyConnect defers per-pair setup (QP connection, eager bounce rings,
+	// send-bounce credits) until two ranks first communicate, instead of
+	// wiring the full n*(n-1)/2 mesh at MPI_Init. Worlds whose ranks only
+	// talk to a few peers — halo exchanges, trees, rings — then never pay
+	// memory or setup for the pairs that stay silent, which is what makes
+	// 128-rank worlds affordable. Verbs bindings only (MX is
+	// connectionless). The connection cost is charged to the proc whose
+	// send first touches the pair.
+	LazyConnect bool
 }
 
 // ConfigFor returns the calibrated implementation profile for a stack.
@@ -147,6 +156,7 @@ type World struct {
 	cfg   Config
 	procs []*Process
 	ins   worldInstruments
+	pairs int // verbs QP-pair-connected rank pairs (eager: all; lazy: on demand)
 }
 
 // worldInstruments aggregates the MPI-layer mechanisms the paper's figures
@@ -213,13 +223,14 @@ func NewWorld(tb *cluster.Testbed, cfg Config) *World {
 		}
 		w.procs = append(w.procs, p)
 	}
-	if !tb.Kind.IsMX() {
+	if !tb.Kind.IsMX() && !cfg.LazyConnect {
 		for i := 0; i < len(w.procs); i++ {
 			for j := i + 1; j < len(w.procs); j++ {
 				ca, cb := tb.ConnectQP(i, j) // control channel
 				da, db := tb.ConnectQP(i, j) // rendezvous data channel
 				w.procs[i].vb.addPeer(j, ca, da)
 				w.procs[j].vb.addPeer(i, cb, db)
+				w.pairs++
 			}
 		}
 		for _, p := range w.procs {
@@ -231,6 +242,28 @@ func NewWorld(tb *cluster.Testbed, cfg Config) *World {
 	}
 	return w
 }
+
+// connectPair wires ranks i and j on demand (LazyConnect worlds): QP pairs
+// for the control and data channels, then each side's eager rings and send
+// credits for just this peer. It runs synchronously inside the calling
+// rank's proc — the engine is single-threaded, so the pair is fully wired
+// before the triggering send proceeds, and the setup cost (registration-
+// free, plus the posting overhead of the rings) lands on the proc whose
+// traffic needed the pair, like a connection-establishment round would.
+func (w *World) connectPair(pr *sim.Proc, i, j int) {
+	ca, cb := w.tb.ConnectQP(i, j)
+	da, db := w.tb.ConnectQP(i, j)
+	w.procs[i].vb.addPeer(j, ca, da)
+	w.procs[j].vb.addPeer(i, cb, db)
+	w.procs[i].vb.prepostPeer(pr, j)
+	w.procs[j].vb.prepostPeer(pr, i)
+	w.pairs++
+}
+
+// ConnectedPairs returns how many rank pairs have verbs QPs wired (always
+// the full mesh on eagerly-connected worlds; 0 for MX worlds, whose
+// endpoints are connectionless).
+func (w *World) ConnectedPairs() int { return w.pairs }
 
 // DefaultWorld builds a testbed of `nodes` hosts on `kind` plus its MPI
 // world with the calibrated profile.
@@ -333,22 +366,21 @@ func (p *Process) WaitAll(pr *sim.Proc, reqs []*Request) {
 	}
 }
 
-// Barrier synchronizes all ranks (central-coordinator algorithm; the
-// testbed has at most four nodes).
+// Barrier synchronizes all ranks with the dissemination algorithm:
+// ceil(log2 n) rounds, each rank sending to (rank + 2^k) mod n and
+// receiving from (rank - 2^k) mod n. The old central-coordinator barrier
+// serialized 2(n-1) messages through rank 0, which was invisible on the
+// paper's four-node testbed but swamps the collective being measured once
+// multi-switch worlds reach 64+ ranks. The distinct distances keep rounds
+// unambiguous under a single tag: 2^k < n, so no two rounds share a source.
 func (p *Process) Barrier(pr *sim.Proc) {
-	w := p.world
+	size := p.world.Size()
 	none := p.host.Mem.Alloc(1)
-	if p.rank == 0 {
-		for r := 1; r < w.Size(); r++ {
-			p.Recv(pr, r, barrierTag, none, 0, 0)
-		}
-		for r := 1; r < w.Size(); r++ {
-			p.Send(pr, r, barrierTag, none, 0, 0)
-		}
-		return
+	for mask := 1; mask < size; mask <<= 1 {
+		to := (p.rank + mask) % size
+		from := (p.rank - mask + size) % size
+		p.Sendrecv(pr, to, barrierTag, none, 0, 0, from, barrierTag, none, 0, 0)
 	}
-	p.Send(pr, 0, barrierTag, none, 0, 0)
-	p.Recv(pr, 0, barrierTag, none, 0, 0)
 }
 
 func (p *Process) eng() *sim.Engine { return p.world.tb.Eng }

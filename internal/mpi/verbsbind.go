@@ -177,6 +177,45 @@ func (b *vbind) prepost() {
 	})
 }
 
+// prepostPeer allocates and posts one peer's share of the eager machinery
+// — the send-bounce credits plus the control and data receive rings — in
+// the context of the calling proc (LazyConnect worlds wire pairs on first
+// use, from whichever rank's send touched the pair). Registration uses the
+// same free-of-charge entry points as init-time prepost: the modeled cost
+// of lazy setup is the ring posting, not re-pinning.
+func (b *vbind) prepostPeer(pr *sim.Proc, peer int) {
+	p := b.p
+	cfg := p.world.cfg
+	size := hdrBytes + cfg.EagerThreshold
+	nic := p.host.NIC()
+	for i := 0; i < cfg.EagerCredits; i++ {
+		buf := p.host.Mem.Alloc(size)
+		b.sendFree = append(b.sendFree, &bounceBuf{buf: buf, reg: nic.Reg().RegisterFree(buf, 0, size)})
+	}
+	qp := b.qps[peer]
+	for i := 0; i < cfg.EagerCredits; i++ {
+		buf := p.host.Mem.Alloc(size)
+		bb := &bounceBuf{buf: buf, reg: nic.Reg().RegisterFree(buf, 0, size), peer: peer}
+		qp.PostRecv(pr, verbs.WR{ID: b.newWR(&wrInfo{kind: wrRecvBounce, bounce: bb, peer: peer}), Op: verbs.OpRecv, Local: bb.reg})
+	}
+	// The data QP only ever receives header-sized FINs.
+	qp = b.dataQPs[peer]
+	for i := 0; i < cfg.EagerCredits; i++ {
+		buf := p.host.Mem.Alloc(hdrBytes)
+		bb := &bounceBuf{buf: buf, reg: nic.Reg().RegisterFree(buf, 0, hdrBytes), peer: peer}
+		qp.PostRecv(pr, verbs.WR{ID: b.newWR(&wrInfo{kind: wrRecvBounce, bounce: bb, peer: peer, data: true}), Op: verbs.OpRecv, Local: bb.reg})
+	}
+}
+
+// ensurePeer wires the pair with `rank` on first communication
+// (LazyConnect worlds); eagerly-connected worlds always hit the fast path.
+func (b *vbind) ensurePeer(pr *sim.Proc, rank int) {
+	if _, ok := b.qps[rank]; ok {
+		return
+	}
+	b.p.world.connectPair(pr, b.p.rank, rank)
+}
+
 // peerRanks returns the connected peers in ascending rank order.
 func (b *vbind) peerRanks() []int {
 	peers := make([]int, 0, len(b.qps))
@@ -236,6 +275,7 @@ func (b *vbind) sendCtrlOn(pr *sim.Proc, qp verbs.QP, hdr wireHdr) {
 // isend implements standard and synchronous non-blocking sends.
 func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer, off, n int, sync bool) {
 	p := b.p
+	b.ensurePeer(pr, dst)
 	b.drain(pr)
 	if n <= p.world.cfg.EagerThreshold {
 		p.EagerSends++

@@ -404,20 +404,30 @@ func (e *Engine) Close() {
 	// Parked and not-yet-started processes are all blocked on <-p.resume.
 	// Killing dispatches them once with the killed flag set, which makes
 	// their next (or current) yield point panic with errProcKilled; the
-	// recover in the proc trampoline swallows it.
-	for len(e.procs) > 0 {
-		var p *Proc
-		//simlint:allow maporder selects the minimum proc id; the choice is independent of iteration order
-		for q := range e.procs {
-			if p == nil || q.id < p.id {
-				p = q // deterministic order
-			}
+	// recover in the proc trampoline swallows it. Snapshot and sort once —
+	// re-scanning the map for the minimum id per kill is O(procs^2), which
+	// multi-switch worlds with tens of thousands of QP processes turn from
+	// invisible into seconds of teardown per world. A dying proc cannot
+	// spawn or wake others (completions only schedule events), so the
+	// snapshot stays complete.
+	live := make([]*Proc, 0, len(e.procs))
+	//simlint:allow maporder the snapshot is sorted by proc id below; iteration order cannot leak
+	for q := range e.procs {
+		live = append(live, q)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for _, p := range live {
+		if _, ok := e.procs[p]; !ok {
+			continue
 		}
 		p.killed = true
 		e.dispatch(p)
-		if _, live := e.procs[p]; live {
+		if _, still := e.procs[p]; still {
 			panic(fmt.Sprintf("sim: proc %q survived kill", p.name))
 		}
+	}
+	if len(e.procs) > 0 {
+		panic(fmt.Sprintf("sim: %d procs survived Close", len(e.procs)))
 	}
 }
 
