@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck clean
+.PHONY: all build test vet lint race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck breakdowncheck tracetoolcheck clean
 
 all: verify
 
@@ -75,6 +75,30 @@ topocheck:
 	/tmp/repro-figures -only topo -scale 2 -j 1 > /tmp/repro-topo-j1.txt
 	/tmp/repro-figures -only topo -scale 2 -j 8 > /tmp/repro-topo-j8.txt
 	cmp /tmp/repro-topo-j1.txt /tmp/repro-topo-j8.txt
+
+# breakdowncheck covers the latency-attribution family: causal tracing and
+# blame run inside every breakdown world, so a serial and a parallel run of
+# the family must emit byte-identical tables.
+breakdowncheck:
+	$(GO) build -o /tmp/repro-figures ./cmd/figures
+	/tmp/repro-figures -only breakdown -scale 2 -j 1 > /tmp/repro-breakdown-j1.txt
+	/tmp/repro-figures -only breakdown -scale 2 -j 8 > /tmp/repro-breakdown-j8.txt
+	cmp /tmp/repro-breakdown-j1.txt /tmp/repro-breakdown-j8.txt
+
+# tracetoolcheck exercises the offline tracing pipeline end to end: capture
+# JSONL traces from netbench, reconstruct the causal DAG, and run every
+# tracetool subcommand. blame exits non-zero unless the attribution buckets
+# tile the blame window exactly, so this smoke also asserts the bucket-sum
+# invariant on real traces.
+tracetoolcheck:
+	$(GO) build -o /tmp/repro-netbench ./cmd/netbench
+	$(GO) build -o /tmp/repro-tracetool ./cmd/tracetool
+	/tmp/repro-netbench -net iwarp -test latency -size 1024 -tracejsonl /tmp/repro-iwarp.jsonl > /dev/null
+	/tmp/repro-netbench -net ib -test latency -size 1024 -tracejsonl /tmp/repro-ib.jsonl > /dev/null
+	/tmp/repro-tracetool crit /tmp/repro-iwarp.jsonl > /dev/null
+	/tmp/repro-tracetool blame /tmp/repro-iwarp.jsonl
+	/tmp/repro-tracetool blame /tmp/repro-ib.jsonl
+	/tmp/repro-tracetool diff /tmp/repro-iwarp.jsonl /tmp/repro-ib.jsonl > /dev/null
 
 clean:
 	$(GO) clean ./...

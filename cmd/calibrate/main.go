@@ -21,6 +21,7 @@ func main() {
 
 	results := core.CheckAnchors()
 	fmt.Print(core.FormatAnchors(results))
+	fmt.Fprintln(os.Stderr, parallel.Summary())
 	for _, r := range results {
 		if !r.Within {
 			os.Exit(1)

@@ -17,23 +17,28 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1..fig8, appx, faults, ext, topo)")
+	only := flag.String("only", "", "run a single experiment (fig1..fig8, appx, faults, ext, topo, breakdown)")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	scale := flag.Int("scale", 1, "sweep thinning factor (1 = full paper sweeps)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds (1 = sequential)")
+	progress := flag.Bool("progress", false, "print live world-completion and ETA lines to stderr (stdout is unaffected)")
 	flag.Parse()
 
 	parallel.SetJobs(*jobs)
+	if *progress {
+		installProgress()
+	}
 
 	if *only != "" {
 		if _, ok := core.Find(*only); !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8, appx, faults, ext, topo\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8, appx, faults, ext, topo, breakdown\n", *only)
 			os.Exit(2)
 		}
 	}
@@ -47,4 +52,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, parallel.Summary())
+}
+
+// installProgress wires the stderr progress stream: one line per experiment
+// from the catalogue, and world-completion lines with a wall-clock ETA from
+// the worker pool. Everything goes to stderr; stdout stays byte-identical
+// with or without -progress.
+func installProgress() {
+	core.OnExperiment = func(e core.Experiment, i, n int) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", i+1, n, e.ID, e.Title)
+	}
+	var batchStart time.Time // guarded by the pool's stats lock
+	parallel.SetProgress(func(done, total int) {
+		if done == 1 {
+			batchStart = time.Now()
+		}
+		// Throttle long sweeps to ~20 lines per batch.
+		step := total / 20
+		if step < 1 {
+			step = 1
+		}
+		if done%step != 0 && done != total {
+			return
+		}
+		line := fmt.Sprintf("  %d/%d worlds", done, total)
+		if done > 1 && done < total {
+			perWorld := time.Since(batchStart) / time.Duration(done-1)
+			line += fmt.Sprintf(", eta %s", (perWorld * time.Duration(total-done)).Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, line)
+	})
 }

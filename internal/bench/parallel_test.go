@@ -25,6 +25,18 @@ func TestFiguresByteIdenticalAcrossJobs(t *testing.T) {
 	if seq != par {
 		t.Fatalf("figure output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq, par)
 	}
+	// A -progress run only adds a pool hook (stderr reporting in
+	// cmd/figures); the figure bytes must not notice it.
+	defer parallel.SetProgress(nil)
+	fired := 0
+	parallel.SetProgress(func(done, total int) { fired++ })
+	prog := build()
+	if prog != par {
+		t.Fatalf("figure output differs with a progress hook installed:\n--- hook ---\n%s\n--- none ---\n%s", prog, par)
+	}
+	if fired == 0 {
+		t.Fatal("progress hook never fired")
+	}
 }
 
 func TestGridSeriesAssemblesInLoopOrder(t *testing.T) {

@@ -1,0 +1,261 @@
+// Package causal reconstructs the event DAG from a trace whose events carry
+// causal.self / causal.cause attributes (see internal/trace), extracts the
+// critical path of an operation, and attributes the operation's elapsed
+// virtual time to architectural buckets: host software, NIC engines, wire
+// serialization, switch/trunk queueing and protocol stalls.
+//
+// The attribution is exact by construction: the critical path is tiled over
+// the operation's own span, every picosecond of the window lands in exactly
+// one bucket, and the buckets therefore sum to the measured operation time.
+// A test pins this invariant.
+//
+// Lossy traces are refused. When the trace ring buffer overflowed and any
+// dropped event carried a causal attribute, the DAG has holes that would
+// silently misattribute time; Build returns ErrLossyTrace instead.
+package causal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Bucket classifies critical-path time architecturally.
+type Bucket int
+
+// The attribution buckets. Host covers MPI library time, matching, bounce
+// copies, post overhead and completion polling on either end; NIC covers
+// protocol/DMA engine occupancy and waits for engine slots; Wire is link and
+// trunk serialization; Switch is the queueing/arbitration wait in front of a
+// wire hop; Stall is protocol-level dead time (TCP retransmission timeouts,
+// fast retransmits, injected engine stalls).
+const (
+	Host Bucket = iota
+	NIC
+	Wire
+	Switch
+	Stall
+	NumBuckets
+)
+
+// String returns the bucket's report column name.
+func (b Bucket) String() string {
+	switch b {
+	case Host:
+		return "host"
+	case NIC:
+		return "nic"
+	case Wire:
+		return "wire"
+	case Switch:
+		return "switch"
+	case Stall:
+		return "stall"
+	}
+	return fmt.Sprintf("bucket(%d)", int(b))
+}
+
+// ErrLossyTrace reports that the trace dropped events carrying causal edges,
+// leaving holes in the DAG.
+var ErrLossyTrace = errors.New("causal: trace dropped events carrying causal edges; the DAG is incomplete")
+
+// Node is one event in the causal DAG.
+type Node struct {
+	Ref    trace.Ref
+	Ev     *trace.Event
+	Causes []trace.Ref
+}
+
+// Start returns the node's start time in picoseconds.
+func (n *Node) Start() int64 { return n.Ev.Ts }
+
+// End returns the node's end time (start for instants).
+func (n *Node) End() int64 { return n.Ev.End() }
+
+// DAG indexes a trace's causally-annotated events by node ref.
+type DAG struct {
+	nodes map[trace.Ref]*Node
+}
+
+// Build indexes every event carrying a causal self ref. It refuses traces
+// whose drop statistics report lost causal edges (wrap-around would leave
+// the DAG silently incomplete); use a larger trace buffer instead.
+func Build(events []trace.Event, drops trace.DropStats) (*DAG, error) {
+	if drops.CausalEdges > 0 {
+		return nil, fmt.Errorf("%w (%d causal events dropped of %d total)", ErrLossyTrace, drops.CausalEdges, drops.Total())
+	}
+	d := &DAG{nodes: make(map[trace.Ref]*Node)}
+	for i := range events {
+		ev := &events[i]
+		self := ev.SelfRef()
+		if self == trace.RefNone {
+			continue
+		}
+		if _, dup := d.nodes[self]; dup {
+			return nil, fmt.Errorf("causal: duplicate node ref %d", self)
+		}
+		d.nodes[self] = &Node{Ref: self, Ev: ev, Causes: ev.CauseRefs(nil)}
+	}
+	return d, nil
+}
+
+// Len returns the number of DAG nodes.
+func (d *DAG) Len() int { return len(d.nodes) }
+
+// Node resolves a ref.
+func (d *DAG) Node(r trace.Ref) (*Node, bool) {
+	n, ok := d.nodes[r]
+	return n, ok
+}
+
+// Terminal returns the node that completed last (ties toward the lowest
+// ref, so the choice is deterministic), or RefNone for an empty DAG. It is
+// the natural default operation for blame: in a benchmark trace the
+// last-completing causal node is the final MPI call of the run.
+func (d *DAG) Terminal() trace.Ref {
+	var best *Node
+	for _, n := range d.nodes {
+		if best == nil || n.End() > best.End() || (n.End() == best.End() && n.Ref < best.Ref) {
+			best = n
+		}
+	}
+	if best == nil {
+		return trace.RefNone
+	}
+	return best.Ref
+}
+
+// CriticalPath walks back from end following, at each node, the
+// latest-completing cause (ties broken toward the lowest ref, so the walk is
+// deterministic), and returns the chain in chronological order: the root
+// event first, the end node last.
+func (d *DAG) CriticalPath(end trace.Ref) ([]*Node, error) {
+	cur, ok := d.nodes[end]
+	if !ok {
+		return nil, fmt.Errorf("causal: no node with ref %d", end)
+	}
+	var rev []*Node
+	seen := make(map[trace.Ref]bool)
+	for cur != nil {
+		if seen[cur.Ref] {
+			return nil, fmt.Errorf("causal: cycle through ref %d", cur.Ref)
+		}
+		seen[cur.Ref] = true
+		rev = append(rev, cur)
+		cur = d.latestCause(cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// latestCause resolves the cause of n that completed last (ties -> lowest
+// ref). Cause refs with no recorded event (allocated before the trace buffer
+// was installed) are skipped.
+func (d *DAG) latestCause(n *Node) *Node {
+	var best *Node
+	for _, r := range n.Causes {
+		c, ok := d.nodes[r]
+		if !ok {
+			continue
+		}
+		if best == nil || c.End() > best.End() || (c.End() == best.End() && c.Ref < best.Ref) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Classify maps a DAG node to its attribution bucket by event name and
+// track. The names are the instrumentation vocabulary of the NIC models
+// (internal/iwarp, internal/ib, internal/mx), the fabric and the MPI layer;
+// anything unrecognized is host software.
+func Classify(ev *trace.Event) Bucket {
+	switch ev.Name {
+	case "tx-seg", "rx-seg", "tx-pkt", "rx-pkt", "rx-ack", "wqe-fetch", "placed", "tx-done":
+		return NIC
+	case "engine-stall", "tcp.rto", "tcp.fast-retx":
+		return Stall
+	case "tx":
+		if strings.HasPrefix(ev.Who, "link.") || strings.HasPrefix(ev.Who, "trunk.") {
+			return Wire
+		}
+	}
+	return Host
+}
+
+// gapBucket classifies the idle time on the critical path immediately before
+// node n: waiting in front of a wire hop is switch/port queueing; waiting
+// for a NIC engine slot is NIC serialization; waiting before host or stall
+// events inherits their bucket.
+func gapBucket(n *Node) Bucket {
+	if b := Classify(n.Ev); b != Wire {
+		return b
+	}
+	return Switch
+}
+
+// Report is the time attribution of one operation window.
+type Report struct {
+	// Op is the operation's terminal node; its own span is the window.
+	Op *Node
+	// Start and End bound the window in picoseconds.
+	Start, End int64
+	// Buckets holds the attributed picoseconds; they sum to End-Start.
+	Buckets [NumBuckets]int64
+	// Path is the critical path used, chronological, ending at Op.
+	Path []*Node
+}
+
+// Total returns the window length in picoseconds.
+func (r *Report) Total() int64 { return r.End - r.Start }
+
+// Blame extracts the critical path ending at op and tiles it over the op
+// node's own span. Every picosecond of the window is attributed exactly
+// once: path segments are clamped to the window and to the advancing
+// cursor, gaps inherit the bucket of the event they precede, and the tail
+// after the last upstream event is host time (completion reaping, final
+// copies). The buckets therefore sum to the operation's measured duration.
+func (d *DAG) Blame(op trace.Ref) (*Report, error) {
+	path, err := d.CriticalPath(op)
+	if err != nil {
+		return nil, err
+	}
+	opNode := path[len(path)-1]
+	rep := &Report{Op: opNode, Start: opNode.Start(), End: opNode.End(), Path: path}
+	t := rep.Start
+	for _, n := range path[:len(path)-1] {
+		if t >= rep.End {
+			break
+		}
+		if n.End() <= t {
+			continue // entirely before the cursor (or the window)
+		}
+		segStart, segEnd := n.Start(), n.End()
+		if segStart < t {
+			segStart = t
+		}
+		if segEnd > rep.End {
+			segEnd = rep.End
+		}
+		if segStart > t { // idle gap on the path before this event
+			gapEnd := segStart
+			if gapEnd > rep.End {
+				gapEnd = rep.End
+			}
+			rep.Buckets[gapBucket(n)] += gapEnd - t
+			t = gapEnd
+		}
+		if segEnd > t {
+			rep.Buckets[Classify(n.Ev)] += segEnd - t
+			t = segEnd
+		}
+	}
+	if t < rep.End {
+		rep.Buckets[Host] += rep.End - t
+	}
+	return rep, nil
+}

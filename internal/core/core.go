@@ -228,6 +228,25 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID:    "breakdown",
+			Title: "Critical-path latency attribution: host / NIC / wire / switch / stall (causal-tracing extension)",
+			Paper: "the paper's Section 5-6 explanation, quantified: iWARP's latency gap over IB and Myrinet is host-side " +
+				"and NIC protocol overhead (per-WR host costs, TOE segmentation, MPA/DDP processing), not wire time; at " +
+				"bandwidth sizes IB runs wire-limited (~97% of link rate) while iWARP and Myrinet stay I/O-bus/engine-bound",
+			Run: func(scale int) []bench.Figure {
+				sizes := thin(bench.BreakdownSizes, scale)
+				lsSizes := thin(bench.BreakdownLeafSpineSizes, scale)
+				var figs []bench.Figure
+				for _, kind := range cluster.Kinds {
+					figs = append(figs, bench.BreakdownFigure(kind, sizes))
+				}
+				for _, kind := range cluster.Kinds {
+					figs = append(figs, bench.BreakdownLeafSpineFigure(kind, lsSizes))
+				}
+				return figs
+			},
+		},
+		{
 			ID:    "topo",
 			Title: "Multi-switch leaf-spine fabrics: collectives and halo exchange under oversubscription (topology extension)",
 			Paper: "the paper's testbed hangs all four nodes off one switch; Section 7 asks how the stacks behave in a larger " +
@@ -269,12 +288,25 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// OnExperiment, when non-nil, is called by RunAll before each experiment
+// starts, with the experiment and its position in the run. cmd/figures
+// -progress uses it for stderr progress lines; it must not write to the
+// figure output stream.
+var OnExperiment func(e Experiment, i, n int)
+
 // RunAll runs every experiment (or just `only`, if non-empty), writing text
 // tables to w and, when csvDir is non-empty, one CSV per figure.
 func RunAll(w io.Writer, only string, csvDir string, scale int) error {
+	var todo []Experiment
 	for _, e := range Experiments() {
 		if only != "" && e.ID != only {
 			continue
+		}
+		todo = append(todo, e)
+	}
+	for i, e := range todo {
+		if OnExperiment != nil {
+			OnExperiment(e, i, len(todo))
 		}
 		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
 		fmt.Fprintf(w, "paper: %s\n\n", e.Paper)

@@ -8,8 +8,8 @@ import (
 
 func TestExperimentCatalogue(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("%d experiments, want 12 (8 paper figures + appendix + faults + the Section 7 extension + topology)", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("%d experiments, want 13 (8 paper figures + appendix + faults + the Section 7 extension + breakdown + topology)", len(exps))
 	}
 	seen := map[string]bool{}
 	for i := 0; i < 8; i++ {
@@ -33,8 +33,8 @@ func TestExperimentCatalogue(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if !seen["ext"] || !seen["appx"] || !seen["faults"] || !seen["topo"] {
-		t.Error("missing the extension/appendix/faults/topo experiments")
+	if !seen["ext"] || !seen["appx"] || !seen["faults"] || !seen["topo"] || !seen["breakdown"] {
+		t.Error("missing the extension/appendix/faults/topo/breakdown experiments")
 	}
 	if _, ok := Find("fig3"); !ok {
 		t.Error("Find(fig3) failed")

@@ -46,6 +46,14 @@ type Frame struct {
 	// engine time and rejects the FPDU on the MPA CRC, leaving recovery to
 	// the offloaded TCP. Injectors (internal/faults) set it from DropFn.
 	Corrupt bool
+
+	// Cause is the causal ref of the event that handed the frame to the
+	// fabric (a NIC tx-engine span). It rides the in-memory frame only —
+	// never the wire byte count, so tracing cannot perturb timing. The
+	// fabric replaces it hop by hop: on delivery it names the last
+	// serialization span, which the receiving NIC consumes as the cause of
+	// its rx processing. RefNone when tracing is off.
+	Cause trace.Ref
 }
 
 // Endpoint receives frames. Deliver is called in engine context (from a
@@ -72,6 +80,13 @@ type line struct {
 	busy     sim.Time // cumulative occupied time
 	frames   int64
 	bytes    int64
+
+	// lastRef is the causal ref of the line's most recent serialization
+	// span (RefNone when tracing is off). A frame that has to wait for the
+	// line names this span as a cause — the serialization-slot edge — so
+	// critical-path analysis follows the wire chain through a saturated
+	// link instead of crediting the backlog to whoever queued the frame.
+	lastRef trace.Ref
 
 	// slow, when non-zero, scales the line's effective rate (0 < slow <= 1):
 	// a degraded link serializes every frame at slow * LinkRate. Zero means
@@ -263,9 +278,18 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	n.hSrcQueue.Observe(float64(txStart - now))
 	tr := n.eng.Trc()
 	if tr.Enabled() {
-		tr.Complete(p.upTrack, "tx", int64(txStart), int64(txEnd),
+		// Chain the frame's causal ref through the hop: the ingress span is
+		// caused by whatever handed the frame over, and becomes the cause of
+		// the next hop (trunks, then egress).
+		attrs := []trace.Attr{trace.Cause(f.Cause),
+			trace.I64("wait_ps", int64(txStart-now)),
 			trace.I64("bytes", int64(f.Bytes)), trace.I64("wire", int64(wire)),
-			trace.I64("dst", int64(f.Dst)))
+			trace.I64("dst", int64(f.Dst))}
+		if txStart > now && p.up.lastRef != trace.RefNone {
+			attrs = append(attrs, trace.Cause(p.up.lastRef))
+		}
+		f.Cause = tr.CompleteR(p.upTrack, "tx", int64(txStart), int64(txEnd), attrs...)
+		p.up.lastRef = f.Cause
 	}
 
 	if n.DropFn != nil && n.DropFn(f) {
@@ -294,8 +318,14 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	egStart, egEnd := dst.dn.reserve(ready, egDur, wire)
 	n.hEgQueue.Observe(float64(egStart - ready))
 	if tr.Enabled() {
-		tr.Complete(dst.dnTrack, "tx", int64(egStart), int64(egEnd),
-			trace.I64("bytes", int64(f.Bytes)), trace.I64("src", int64(f.Src)))
+		attrs := []trace.Attr{trace.Cause(f.Cause),
+			trace.I64("wait_ps", int64(egStart-ready)),
+			trace.I64("bytes", int64(f.Bytes)), trace.I64("src", int64(f.Src))}
+		if egStart > ready && dst.dn.lastRef != trace.RefNone {
+			attrs = append(attrs, trace.Cause(dst.dn.lastRef))
+		}
+		f.Cause = tr.CompleteR(dst.dnTrack, "tx", int64(egStart), int64(egEnd), attrs...)
+		dst.dn.lastRef = f.Cause
 	}
 	deliverAt := egEnd + n.cfg.PropDelay
 	n.eng.At(deliverAt, func() {

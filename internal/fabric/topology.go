@@ -295,8 +295,14 @@ func (n *Network) routeTrunks(f *Frame, ready sim.Time, wire int) sim.Time {
 		n.cTrunkBytes.Add(int64(wire))
 		n.hTrunkQueue.Observe(float64(start - ready))
 		if tr.Enabled() {
-			tr.Complete(hop.track, "tx", int64(start), int64(end),
-				trace.I64("bytes", int64(f.Bytes)), trace.I64("src", int64(f.Src)), trace.I64("dst", int64(f.Dst)))
+			attrs := []trace.Attr{trace.Cause(f.Cause),
+				trace.I64("wait_ps", int64(start-ready)),
+				trace.I64("bytes", int64(f.Bytes)), trace.I64("src", int64(f.Src)), trace.I64("dst", int64(f.Dst))}
+			if start > ready && hop.l.lastRef != trace.RefNone {
+				attrs = append(attrs, trace.Cause(hop.l.lastRef))
+			}
+			f.Cause = tr.CompleteR(hop.track, "tx", int64(start), int64(end), attrs...)
+			hop.l.lastRef = f.Cause
 		}
 		ready = n.forwardReady(hop.l, rate, start, end, wire)
 	}

@@ -187,6 +187,7 @@ func (h *HCA) Deliver(f *fabric.Frame) {
 	if pk.dstQPN < 0 || pk.dstQPN >= len(h.qps) {
 		panic(fmt.Sprintf("ib %s: packet for unknown QP %d", h.name, pk.dstQPN))
 	}
+	pk.cause = f.Cause // chain rx processing from the delivering wire hop
 	h.qps[pk.dstQPN].rxQ.Put(pk)
 }
 

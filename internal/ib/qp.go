@@ -6,6 +6,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 )
 
@@ -33,6 +34,11 @@ type packet struct {
 	rdMsg   *txMsg
 	rd      readReq
 	ackFor  *txMsg
+
+	// cause is the causal ref of the engine pass that emitted the packet;
+	// the receive side chains its rx pass from it (in-memory only, never
+	// wire bytes).
+	cause trace.Ref
 }
 
 type readReq struct {
@@ -50,11 +56,13 @@ type txMsg struct {
 	qpn int // origin QP number on the sending HCA
 }
 
-// inbound assembles an incoming Send message.
+// inbound assembles an incoming Send message. cause tracks the rx pass of
+// the most recent packet for deferred (early-arrival) completion.
 type inbound struct {
 	buf   []byte
 	got   int
 	total int
+	cause trace.Ref
 }
 
 // QP is one endpoint of a reliable connection.
@@ -127,7 +135,12 @@ func (q *QP) PostSend(p *sim.Proc, wr verbs.WR) {
 		panic(fmt.Sprintf("ib %s: zero-length work request", q.hca.name))
 	}
 	p.Sleep(q.hca.cfg.PostOverhead)
+	now := q.hca.eng.Now()
 	at := q.hca.pcie.Doorbell(32)
+	if tr := q.hca.eng.Trc(); tr.Enabled() {
+		wr.Cause = tr.CompleteR(q.hca.name, "doorbell", int64(now), int64(at),
+			trace.Cause(wr.Cause), trace.I64("qpn", int64(q.qpn)))
+	}
 	q.hca.eng.At(at, func() { q.sendQ.Put(wr) })
 }
 
@@ -151,19 +164,29 @@ func (q *QP) execute(wp *sim.Proc, wr verbs.WR) {
 	h := q.hca
 	switch wr.Op {
 	case verbs.OpWrite, verbs.OpSend:
-		msg := &txMsg{wr: wr, qpn: q.qpn}
 		// WQE fetch; small payloads ride inline in the descriptor.
 		desc := 64
 		inline := wr.Len <= h.cfg.InlineSize
 		if inline {
 			desc += wr.Len
 		}
+		t0 := h.eng.Now()
 		h.pcie.Read(wp, desc)
-		q.stream(wp, wr.Op, wr.Local, wr.LocalOff, wr.Len, wr.RemoteKey, wr.RemoteOff, msg, nil, !inline)
-	case verbs.OpRead:
-		h.pcie.Read(wp, 64)
+		if tr := h.eng.Trc(); tr.Enabled() {
+			wr.Cause = tr.CompleteR(h.name, "wqe-fetch", int64(t0), int64(h.eng.Now()),
+				trace.Cause(wr.Cause), trace.I64("qpn", int64(q.qpn)))
+		}
 		msg := &txMsg{wr: wr, qpn: q.qpn}
-		q.engineSend(wp, true, &packet{
+		q.stream(wp, wr.Op, wr.Local, wr.LocalOff, wr.Len, wr.RemoteKey, wr.RemoteOff, msg, nil, !inline, wr.Cause)
+	case verbs.OpRead:
+		t0 := h.eng.Now()
+		h.pcie.Read(wp, 64)
+		if tr := h.eng.Trc(); tr.Enabled() {
+			wr.Cause = tr.CompleteR(h.name, "wqe-fetch", int64(t0), int64(h.eng.Now()),
+				trace.Cause(wr.Cause), trace.I64("qpn", int64(q.qpn)))
+		}
+		msg := &txMsg{wr: wr, qpn: q.qpn}
+		q.engineSend(wp, true, wr.Cause, &packet{
 			dstQPN: q.peer.qpn,
 			kind:   pktReadReq,
 			n:      28,
@@ -185,7 +208,7 @@ func (q *QP) execute(wp *sim.Proc, wr verbs.WR) {
 // whether payload is fetched from host memory (false for inline sends and
 // for read responses sourced by the responder, which still DMA — the
 // responder passes true).
-func (q *QP) stream(wp *sim.Proc, op verbs.Op, src *mem.Region, srcOff, n int, stag mem.RKey, remoteOff int, msg *txMsg, rdMsg *txMsg, dma bool) {
+func (q *QP) stream(wp *sim.Proc, op verbs.Op, src *mem.Region, srcOff, n int, stag mem.RKey, remoteOff int, msg *txMsg, rdMsg *txMsg, dma bool, cause trace.Ref) {
 	h := q.hca
 	mtu := h.cfg.MTU
 	nsegs := (n + mtu - 1) / mtu
@@ -226,21 +249,26 @@ func (q *QP) stream(wp *sim.Proc, op verbs.Op, src *mem.Region, srcOff, n int, s
 			pk.offset = off
 		}
 		pk.payload = snapshot[off : off+take]
-		q.engineSend(wp, pk.first, pk)
+		q.engineSend(wp, pk.first, cause, pk)
 	}
 }
 
 // engineSend pushes one packet through the (capacity-1) send processor,
 // paying a context reload if this QP fell out of the context cache and the
 // completion-writeback cost after the final packet of a message.
-func (q *QP) engineSend(wp *sim.Proc, firstOfMsg bool, pk *packet) {
+func (q *QP) engineSend(wp *sim.Proc, firstOfMsg bool, cause trace.Ref, pk *packet) {
 	h := q.hca
+	t0 := h.eng.Now()
 	h.txEngine.Acquire(wp, 1)
 	hold := h.cfg.TxPktTime
 	if firstOfMsg && h.touchCtx(q.qpn) {
 		hold += h.cfg.CtxMissTime
 	}
 	wp.Sleep(hold)
+	if tr := h.eng.Trc(); tr.Enabled() {
+		pk.cause = tr.CompleteR(h.name, "tx-pkt", int64(t0), int64(h.eng.Now()),
+			trace.Cause(cause), trace.I64("qpn", int64(q.qpn)), trace.I64("bytes", int64(pk.n)))
+	}
 	q.emit(pk)
 	if pk.last || pk.kind != pktData {
 		wp.Sleep(h.cfg.CqeTime)
@@ -269,6 +297,7 @@ func (q *QP) emit(pk *packet) {
 		Bytes:   pk.n + q.hca.cfg.PacketHeader,
 		Payload: pk,
 		Flow:    q.qpn, // per-connection ECMP path on multi-switch fabrics
+		Cause:   pk.cause,
 	})
 }
 
@@ -281,23 +310,35 @@ func (q *QP) rxLoop(p *sim.Proc) {
 		switch pk.kind {
 		case pktAck:
 			h.cAcksRx.Inc()
+			t0 := h.eng.Now()
 			h.rxEngine.Use(p, h.cfg.AckTime)
+			ackRef := trace.RefNone
+			if tr := h.eng.Trc(); tr.Enabled() {
+				ackRef = tr.CompleteR(h.name, "rx-ack", int64(t0), int64(h.eng.Now()),
+					trace.Cause(pk.cause), trace.I64("qpn", int64(q.qpn)))
+			}
 			m := pk.ackFor
 			if m.wr.Op == verbs.OpWrite || m.wr.Op == verbs.OpSend {
 				// The ACK returns to the QP that sent the message.
 				orig := h.qps[m.qpn]
-				orig.scq.Push(verbs.Completion{WRID: m.wr.ID, Op: m.wr.Op, Len: m.wr.Len, At: h.eng.Now()})
+				orig.scq.Push(verbs.Completion{WRID: m.wr.ID, Op: m.wr.Op, Len: m.wr.Len, At: h.eng.Now(), Cause: ackRef})
 			}
 		case pktReadReq:
 			h.cReadReqs.Inc()
+			t0 := h.eng.Now()
 			h.rxEngine.Use(p, h.cfg.RxPktTime)
+			reqRef := trace.RefNone
+			if tr := h.eng.Trc(); tr.Enabled() {
+				reqRef = tr.CompleteR(h.name, "rx-pkt", int64(t0), int64(h.eng.Now()),
+					trace.Cause(pk.cause), trace.I64("qpn", int64(q.qpn)))
+			}
 			rd := pk.rd
 			region, ok := h.reg.Lookup(rd.srcKey)
 			if !ok {
 				panic(fmt.Sprintf("ib %s: read request for unknown rkey %d", h.name, rd.srcKey))
 			}
 			h.eng.Go(fmt.Sprintf("%s/qp%d/read-resp", h.name, q.qpn), func(rp *sim.Proc) {
-				q.stream(rp, verbs.OpWrite, region, rd.srcOff, rd.n, rd.sinkKey, rd.sinkOff, nil, rd.msg, true)
+				q.stream(rp, verbs.OpWrite, region, rd.srcOff, rd.n, rd.sinkKey, rd.sinkOff, nil, rd.msg, true, reqRef)
 			})
 		case pktData:
 			h.cPktsRx.Inc()
@@ -309,6 +350,7 @@ func (q *QP) rxLoop(p *sim.Proc) {
 // handleData performs DDP-equivalent placement for an arriving data packet.
 func (q *QP) handleData(p *sim.Proc, pk *packet) {
 	h := q.hca
+	t0 := h.eng.Now()
 	h.rxEngine.Acquire(p, 1)
 	hold := h.cfg.RxPktTime
 	if pk.first && h.touchCtx(q.qpn) {
@@ -316,6 +358,11 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 	}
 	p.Sleep(hold)
 	h.rxEngine.Release(1)
+	rxRef := trace.RefNone
+	if tr := h.eng.Trc(); tr.Enabled() {
+		rxRef = tr.CompleteR(h.name, "rx-pkt", int64(t0), int64(h.eng.Now()),
+			trace.Cause(pk.cause), trace.I64("qpn", int64(q.qpn)), trace.I64("bytes", int64(pk.n)))
+	}
 
 	switch {
 	case pk.op == verbs.OpWrite:
@@ -327,12 +374,14 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 		pkc := pk
 		h.eng.At(t, func() {
 			copy(region.Buf.Slice(region.Off+pkc.offset, pkc.n), pkc.payload)
-			q.places.Put(verbs.Placement{Key: pkc.stag, Off: pkc.offset, Len: pkc.n, At: h.eng.Now()})
+			placed := h.eng.Trc().InstantR(h.name, "placed",
+				trace.Cause(rxRef), trace.I64("bytes", int64(pkc.n)))
+			q.places.Put(verbs.Placement{Key: pkc.stag, Off: pkc.offset, Len: pkc.n, At: h.eng.Now(), Cause: placed})
 			if pkc.last {
 				if pkc.rdMsg != nil {
-					q.scq.Push(verbs.Completion{WRID: pkc.rdMsg.wr.ID, Op: verbs.OpRead, Len: pkc.rdMsg.wr.Len, At: h.eng.Now()})
+					q.scq.Push(verbs.Completion{WRID: pkc.rdMsg.wr.ID, Op: verbs.OpRead, Len: pkc.rdMsg.wr.Len, At: h.eng.Now(), Cause: placed})
 				} else if pkc.msg != nil {
-					q.ack(pkc.msg)
+					q.ack(pkc.msg, placed)
 				}
 			}
 		})
@@ -350,6 +399,7 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 			panic(fmt.Sprintf("ib %s: send continuation with no assembly", h.name))
 		}
 		q.cur.got += pk.n
+		q.cur.cause = rxRef
 		if q.curWR != nil {
 			if pk.offset+pk.n > q.curWR.Local.Len {
 				panic(fmt.Sprintf("ib %s: send overruns recv buffer", h.name))
@@ -359,8 +409,10 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 			h.eng.At(t, func() {
 				copy(wr.Local.Slice(wr.LocalOff+pkc.offset, pkc.n), pkc.payload)
 				if pkc.last {
-					q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: cur.got, At: h.eng.Now()})
-					q.ack(pkc.msg)
+					placed := h.eng.Trc().InstantR(h.name, "placed",
+						trace.Cause(rxRef), trace.I64("bytes", int64(cur.got)))
+					q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: cur.got, At: h.eng.Now(), Cause: placed})
+					q.ack(pkc.msg, placed)
 				}
 			})
 		} else {
@@ -369,7 +421,7 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 			}
 			q.cur.buf = append(q.cur.buf[:pk.offset], pk.payload...)
 			if pk.last {
-				q.ack(pk.msg)
+				q.ack(pk.msg, rxRef)
 			}
 		}
 		if pk.last {
@@ -383,9 +435,10 @@ func (q *QP) handleData(p *sim.Proc, pk *packet) {
 	}
 }
 
-// ack emits a transport ACK for a fully-arrived message.
-func (q *QP) ack(msg *txMsg) {
-	q.emit(&packet{dstQPN: q.peer.qpn, kind: pktAck, n: 0, ackFor: msg})
+// ack emits a transport ACK for a fully-arrived message, caused by the event
+// that finished the message (placement or final rx pass).
+func (q *QP) ack(msg *txMsg, cause trace.Ref) {
+	q.emit(&packet{dstQPN: q.peer.qpn, kind: pktAck, n: 0, ackFor: msg, cause: cause})
 }
 
 // completeEarly flushes a buffered early Send into a just-posted receive.
@@ -397,6 +450,8 @@ func (q *QP) completeEarly(m *inbound, wr verbs.WR) {
 	t := h.pcie.WriteFrom(h.eng.Now(), m.total)
 	h.eng.At(t, func() {
 		copy(wr.Local.Slice(wr.LocalOff, m.total), m.buf[:m.total])
-		q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: m.total, At: h.eng.Now()})
+		placed := h.eng.Trc().InstantR(h.name, "placed",
+			trace.Cause(m.cause), trace.I64("bytes", int64(m.total)))
+		q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: m.total, At: h.eng.Now(), Cause: placed})
 	})
 }

@@ -46,18 +46,23 @@ type readReq struct {
 	msg     *txMsg
 }
 
-// txMsg tracks an outgoing RDMAP message across its segments.
+// txMsg tracks an outgoing RDMAP message across its segments. cause carries
+// the causal ref of the WQE-fetch event into the emission phase.
 type txMsg struct {
 	wr    verbs.WR
 	segs  int
 	acked int
+	cause trace.Ref
 }
 
-// inbound assembles one incoming untagged (Send) message.
+// inbound assembles one incoming untagged (Send) message. cause tracks the
+// rx-engine event of the most recent segment, so a deferred (early-arrival)
+// completion still names what enabled it.
 type inbound struct {
 	buf   []byte
 	got   int
 	total int // set when the last segment arrives
+	cause trace.Ref
 }
 
 // QP is an iWARP queue pair bound to one offloaded TCP connection.
@@ -78,6 +83,13 @@ type QP struct {
 	early []*inbound // completed untagged messages with no posted recv
 	cur   *inbound   // in-assembly untagged message
 	curWR *verbs.WR  // matched recv for cur, nil if none was posted
+
+	// Causal bookkeeping (RefNone with tracing off). txCause is the
+	// tx-engine event whose FPDU the next emitted TCP segments carry;
+	// ackCause is the rx event of the ACK currently feeding conn.Input, so
+	// completions raised from OnRecordAcked name what enabled them.
+	txCause  trace.Ref
+	ackCause trace.Ref
 }
 
 func (r *RNIC) newQP() *QP {
@@ -97,6 +109,7 @@ func (r *RNIC) newQP() *QP {
 	q.conn.RTO = r.cfg.TCPRTO
 	q.conn.OnSendable = q.drainTx
 	q.conn.OnRecordAcked = q.recordAcked
+	q.conn.OnRetransmit = func(ref trace.Ref) { q.txCause = ref }
 	r.qps = append(r.qps, q)
 	r.eng.Go(fmt.Sprintf("%s/qp%d/rx", r.name, q.qpn), q.rxLoop)
 	r.eng.Go(fmt.Sprintf("%s/qp%d/fetch", r.name, q.qpn), q.fetchLoop)
@@ -122,11 +135,16 @@ func (q *QP) fetchLoop(p *sim.Proc) {
 	r := q.rnic
 	for {
 		wr := q.sendQ.Get(p)
+		t0 := r.eng.Now()
 		r.pcie.Read(p, 64) // descriptor fetch
+		if tr := r.eng.Trc(); tr.Enabled() {
+			wr.Cause = tr.CompleteR(r.name, "wqe-fetch", int64(t0), int64(r.eng.Now()),
+				trace.Cause(wr.Cause), trace.I64("qpn", int64(q.qpn)))
+		}
 		f := &fetchedWR{wr: wr}
 		switch wr.Op {
 		case verbs.OpWrite, verbs.OpSend:
-			f.msg = &txMsg{wr: wr}
+			f.msg = &txMsg{wr: wr, cause: wr.Cause}
 			maxP, _ := q.segParams(wr.Op)
 			f.msg.segs = (wr.Len + maxP - 1) / maxP
 		case verbs.OpRead:
@@ -143,9 +161,9 @@ func (q *QP) emitLoop(p *sim.Proc) {
 		f := q.emitQ.Get(p)
 		switch f.wr.Op {
 		case verbs.OpWrite:
-			q.emitSegments(p, segTagged, f.wr.Local, f.wr.LocalOff, f.wr.Len, f.wr.RemoteKey, f.wr.RemoteOff, f.msg, nil)
+			q.emitSegments(p, segTagged, f.wr.Local, f.wr.LocalOff, f.wr.Len, f.wr.RemoteKey, f.wr.RemoteOff, f.msg, nil, f.msg.cause)
 		case verbs.OpSend:
-			q.emitSegments(p, segUntagged, f.wr.Local, f.wr.LocalOff, f.wr.Len, 0, 0, f.msg, nil)
+			q.emitSegments(p, segUntagged, f.wr.Local, f.wr.LocalOff, f.wr.Len, 0, 0, f.msg, nil, f.msg.cause)
 		case verbs.OpRead:
 			q.sendReadRequest(p, f.wr)
 		}
@@ -187,7 +205,12 @@ func (q *QP) PostSend(p *sim.Proc, wr verbs.WR) {
 		panic(fmt.Sprintf("iwarp %s: zero-length work request", q.rnic.name))
 	}
 	p.Sleep(q.rnic.cfg.PostOverhead)
+	now := q.rnic.eng.Now()
 	at := q.rnic.pcie.Doorbell(32)
+	if tr := q.rnic.eng.Trc(); tr.Enabled() {
+		wr.Cause = tr.CompleteR(q.rnic.name, "doorbell", int64(now), int64(at),
+			trace.Cause(wr.Cause), trace.I64("qpn", int64(q.qpn)))
+	}
 	q.rnic.eng.At(at, func() { q.sendQ.Put(wr) })
 }
 
@@ -211,7 +234,7 @@ func (q *QP) PostRecv(p *sim.Proc, wr verbs.WR) {
 // sendData pushes one RDMAP message through the full transmit pipeline in
 // the calling process: used by the RDMA Read responder, which streams a
 // local region back without the send-queue path.
-func (q *QP) sendData(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n int, stag mem.RKey, remoteOff int, msg *txMsg, rdMsg *txMsg) {
+func (q *QP) sendData(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n int, stag mem.RKey, remoteOff int, msg *txMsg, rdMsg *txMsg, cause trace.Ref) {
 	maxP, _ := q.segParams(verbs.OpWrite)
 	if kind == segUntagged {
 		maxP, _ = q.segParams(verbs.OpSend)
@@ -219,12 +242,12 @@ func (q *QP) sendData(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n int
 	if msg != nil {
 		msg.segs = (n + maxP - 1) / maxP
 	}
-	q.emitSegments(wp, kind, src, srcOff, n, stag, remoteOff, msg, rdMsg)
+	q.emitSegments(wp, kind, src, srcOff, n, stag, remoteOff, msg, rdMsg, cause)
 }
 
 // emitSegments runs the protocol-engine emission phase of one message,
 // booking each segment's host DMA just in time.
-func (q *QP) emitSegments(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n int, stag mem.RKey, remoteOff int, msg *txMsg, rdMsg *txMsg) {
+func (q *QP) emitSegments(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n int, stag mem.RKey, remoteOff int, msg *txMsg, rdMsg *txMsg, cause trace.Ref) {
 	r := q.rnic
 	maxP, hdr := q.segParams(verbs.OpWrite)
 	if kind == segUntagged {
@@ -250,9 +273,18 @@ func (q *QP) emitSegments(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n
 			ready = r.hostToEngine(min(maxP, n-next) + hdr)
 		}
 		wp.SleepUntil(cur)
+		t0 := r.eng.Now()
 		r.txSched.Use(wp, r.cfg.SchedTime)
 		r.txEngine.Acquire(wp, 1)
 		wp.Sleep(r.cfg.TxSegTime)
+		segCause := cause
+		if tr := r.eng.Trc(); tr.Enabled() {
+			// One protocol-engine pass per DDP segment: scheduling, the
+			// engine slot, and segmentation time, caused by the WQE fetch
+			// (or, on the read-responder path, the request's rx pass).
+			segCause = tr.CompleteR(r.name, "tx-seg", int64(t0), int64(r.eng.Now()),
+				trace.Cause(cause), trace.I64("qpn", int64(q.qpn)), trace.I64("bytes", int64(take)))
+		}
 		seg := &ddpSeg{
 			kind:   kind,
 			n:      take,
@@ -276,6 +308,7 @@ func (q *QP) emitSegments(wp *sim.Proc, kind segKind, src *mem.Region, srcOff, n
 		// The remaining pipeline stages add latency without occupying an
 		// engine slot; scheduling preserves per-connection segment order.
 		r.eng.After(r.cfg.TxPipeDelay, func() {
+			q.txCause = segCause
 			q.conn.Send(fpdu, seg)
 			q.drainTx()
 		})
@@ -299,9 +332,14 @@ func (q *QP) sendReadRequest(wp *sim.Proc, wr verbs.WR) {
 			msg:     msg,
 		},
 	}
+	t0 := r.eng.Now()
 	r.txSched.Use(wp, r.cfg.SchedTime)
 	r.txEngine.Acquire(wp, 1)
 	wp.Sleep(r.cfg.TxSegTime)
+	if tr := r.eng.Trc(); tr.Enabled() {
+		q.txCause = tr.CompleteR(r.name, "tx-seg", int64(t0), int64(r.eng.Now()),
+			trace.Cause(wr.Cause), trace.I64("qpn", int64(q.qpn)), trace.I64("bytes", int64(ReadRequestBytes)))
+	}
 	r.cSegsTx.Inc()
 	r.cReadReqs.Inc()
 	framing, markers := r.cfg.Framing.FramingOverhead(UntaggedHeader, ReadRequestBytes)
@@ -325,7 +363,9 @@ func (q *QP) drainTx() {
 	}
 }
 
-// emit puts one TCP segment on the Ethernet.
+// emit puts one TCP segment on the Ethernet. The frame's causal ref is the
+// tx-engine pass whose FPDU prompted this transmission (for a pure ACK, the
+// rx pass that decided to acknowledge).
 func (q *QP) emit(seg tcpsim.Segment) {
 	q.rnic.port.Send(&fabric.Frame{
 		Src:     q.rnic.port.ID(),
@@ -333,6 +373,7 @@ func (q *QP) emit(seg tcpsim.Segment) {
 		Bytes:   q.conn.WireBytes(seg),
 		Payload: wireSeg{dstQPN: q.peer.qpn, seg: seg},
 		Flow:    q.qpn, // per-connection ECMP path on multi-switch fabrics
+		Cause:   q.txCause,
 	})
 }
 
@@ -347,15 +388,17 @@ func (q *QP) recordAcked(meta any) {
 	if seg.msg.acked == seg.msg.segs {
 		op := seg.msg.wr.Op
 		if op == verbs.OpWrite || op == verbs.OpSend {
-			q.scq.Push(verbs.Completion{WRID: seg.msg.wr.ID, Op: op, Len: seg.msg.wr.Len, At: q.rnic.eng.Now()})
+			q.scq.Push(verbs.Completion{WRID: seg.msg.wr.ID, Op: op, Len: seg.msg.wr.Len, At: q.rnic.eng.Now(), Cause: q.ackCause})
 		}
 	}
 }
 
-// rxSeg is one arrived TCP segment plus the fabric's corruption mark.
+// rxSeg is one arrived TCP segment plus the fabric's corruption mark and the
+// causal ref of the wire hop that delivered it.
 type rxSeg struct {
 	seg     tcpsim.Segment
 	corrupt bool
+	cause   trace.Ref
 }
 
 // rxLoop is the per-QP receive process: it serializes TCP input per
@@ -370,19 +413,30 @@ func (q *QP) rxLoop(p *sim.Proc) {
 			// one fails the TCP checksum and is discarded after the same
 			// engine pass; the sender's RTO covers the lost window update.
 			r.cAcksRx.Inc()
+			t0 := r.eng.Now()
 			r.rxEngine.Use(p, r.cfg.RxAckTime)
 			if rx.corrupt {
 				r.cCrcRejects.Inc()
 				continue
 			}
+			if tr := r.eng.Trc(); tr.Enabled() {
+				q.ackCause = tr.CompleteR(r.name, "rx-ack", int64(t0), int64(r.eng.Now()),
+					trace.Cause(rx.cause), trace.I64("qpn", int64(q.qpn)))
+			}
 			q.conn.Input(tseg)
 			continue
 		}
 		r.cSegsRx.Inc()
+		t0 := r.eng.Now()
 		r.rxSched.Use(p, r.cfg.SchedTime)
 		r.rxEngine.Acquire(p, 1)
 		p.Sleep(r.cfg.RxSegTime)
 		r.rxEngine.Release(1)
+		var rxRef trace.Ref
+		if tr := r.eng.Trc(); tr.Enabled() {
+			rxRef = tr.CompleteR(r.name, "rx-seg", int64(t0), int64(r.eng.Now()),
+				trace.Cause(rx.cause), trace.I64("qpn", int64(q.qpn)), trace.I64("bytes", int64(tseg.Len)))
+		}
 		if rx.corrupt {
 			// MPA CRC reject: the engine has already paid the receive pass
 			// that computed the CRC; the FPDU is discarded without reaching
@@ -396,19 +450,25 @@ func (q *QP) rxLoop(p *sim.Proc) {
 		}
 		seg := tseg
 		r.eng.After(r.cfg.RxPipeDelay, func() {
+			// Completions raised from Input's ACK processing (piggybacked
+			// acks) and the ACK we send back are both enabled by this
+			// segment's rx pass.
+			q.ackCause = rxRef
 			recs, ack, need := q.conn.Input(seg)
 			if need {
+				q.txCause = rxRef
 				q.emit(ack)
 			}
 			for _, rec := range recs {
-				q.handleSeg(rec.Meta.(*ddpSeg))
+				q.handleSeg(rec.Meta.(*ddpSeg), rxRef)
 			}
 		})
 	}
 }
 
-// handleSeg places one arrived DDP segment. Runs in the rx process.
-func (q *QP) handleSeg(seg *ddpSeg) {
+// handleSeg places one arrived DDP segment; cause is the rx-engine pass that
+// completed the segment's record. Runs in the rx process.
+func (q *QP) handleSeg(seg *ddpSeg, cause trace.Ref) {
 	r := q.rnic
 	switch seg.kind {
 	case segTagged:
@@ -422,11 +482,13 @@ func (q *QP) handleSeg(seg *ddpSeg) {
 		last, rdMsg := seg.last, seg.rdMsg
 		r.eng.At(t2, func() {
 			copy(region.Buf.Slice(region.Off+off, n), payload)
-			q.places.Put(verbs.Placement{Key: seg.stag, Off: off, Len: n, At: r.eng.Now()})
+			placed := r.eng.Trc().InstantR(r.name, "placed",
+				trace.Cause(cause), trace.I64("bytes", int64(n)))
+			q.places.Put(verbs.Placement{Key: seg.stag, Off: off, Len: n, At: r.eng.Now(), Cause: placed})
 			if rdMsg != nil && last {
 				// Last RDMA Read Response segment: complete the requester's
 				// OpRead WQE. q is the requester-side QP here.
-				q.scq.Push(verbs.Completion{WRID: rdMsg.wr.ID, Op: verbs.OpRead, Len: rdMsg.wr.Len, At: r.eng.Now()})
+				q.scq.Push(verbs.Completion{WRID: rdMsg.wr.ID, Op: verbs.OpRead, Len: rdMsg.wr.Len, At: r.eng.Now(), Cause: placed})
 			}
 		})
 
@@ -444,6 +506,7 @@ func (q *QP) handleSeg(seg *ddpSeg) {
 			panic(fmt.Sprintf("iwarp %s: untagged continuation with no assembly", r.name))
 		}
 		q.cur.got += seg.n
+		q.cur.cause = cause
 		if q.curWR != nil {
 			// Zero-copy placement into the posted receive buffer.
 			if seg.offset+seg.n > q.curWR.Local.Len {
@@ -456,7 +519,9 @@ func (q *QP) handleSeg(seg *ddpSeg) {
 			r.eng.At(t2, func() {
 				copy(wr.Local.Slice(wr.LocalOff+off, len(payload)), payload)
 				if last {
-					q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: cur.got, At: r.eng.Now()})
+					placed := r.eng.Trc().InstantR(r.name, "placed",
+						trace.Cause(cause), trace.I64("bytes", int64(cur.got)))
+					q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: cur.got, At: r.eng.Now(), Cause: placed})
 				}
 			})
 		} else {
@@ -487,7 +552,7 @@ func (q *QP) handleSeg(seg *ddpSeg) {
 		}
 		// The responder RNIC streams the data back without host involvement.
 		r.eng.Go(fmt.Sprintf("%s/qp%d/read-resp", r.name, q.qpn), func(rp *sim.Proc) {
-			q.sendData(rp, segTagged, region, rd.srcOff, rd.n, rd.sinkKey, rd.sinkOff, nil, rd.msg)
+			q.sendData(rp, segTagged, region, rd.srcOff, rd.n, rd.sinkKey, rd.sinkOff, nil, rd.msg, cause)
 		})
 	}
 }
@@ -502,6 +567,8 @@ func (q *QP) completeEarly(m *inbound, wr verbs.WR) {
 	t2 := r.engineToHost(m.total)
 	r.eng.At(t2, func() {
 		copy(wr.Local.Slice(wr.LocalOff, m.total), m.buf[:m.total])
-		q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: m.total, At: r.eng.Now()})
+		placed := r.eng.Trc().InstantR(r.name, "placed",
+			trace.Cause(m.cause), trace.I64("bytes", int64(m.total)))
+		q.rcq.Push(verbs.Completion{WRID: wr.ID, Op: verbs.OpRecv, Len: m.total, At: r.eng.Now(), Cause: placed})
 	})
 }

@@ -227,7 +227,7 @@ func (r *RNIC) Deliver(f *fabric.Frame) {
 	if ws.dstQPN < 0 || ws.dstQPN >= len(r.qps) {
 		panic(fmt.Sprintf("iwarp %s: frame for unknown QP %d", r.name, ws.dstQPN))
 	}
-	r.qps[ws.dstQPN].rxQ.Put(rxSeg{seg: ws.seg, corrupt: f.Corrupt})
+	r.qps[ws.dstQPN].rxQ.Put(rxSeg{seg: ws.seg, corrupt: f.Corrupt, cause: f.Cause})
 }
 
 // StallEngines implements faults.EngineStaller: the protocol engine stops

@@ -6,6 +6,8 @@ type Attr struct{ K, V string }
 
 func Str(key, val string) Attr { return Attr{key, val} }
 
+func I64(key string, val int64) Attr { return Attr{key, ""} }
+
 type Span struct{}
 
 func Instant(who, name string, attrs ...Attr) {}

@@ -22,6 +22,15 @@ func record(reg *metrics.Registry, who string, rank int) {
 
 	//simlint:allow tracekeys per-rank series; cardinality is bounded by the cluster size
 	reg.Counter(fmt.Sprintf("rank%d.bytes", rank)).Add(64)
+
+	// The causal.* attribute namespace belongs to trace.Self/trace.Cause;
+	// hand-rolled constants are constant but still forbidden.
+	trace.Instant(who, evSend, trace.Str("causal.self", "7"))  // want `causal\. attribute namespace is reserved`
+	trace.Instant(who, evSend, trace.I64("causal.cause", 7))   // want `causal\. attribute namespace is reserved`
+	trace.Instant(who, evSend, trace.I64(keyCausalDepth, 3))   // want `causal\. attribute namespace is reserved`
+	trace.Instant(who, evSend, trace.I64("noncausal.self", 1)) // fine: outside the reserved prefix
 }
+
+const keyCausalDepth = "causal.depth"
 
 func suffix() string { return "depth" }

@@ -13,11 +13,19 @@
 // Genuinely dynamic names (per-port gauges, the legacy free-form debug
 // hook) carry //simlint:allow tracekeys directives with the justification
 // spelled out at the call site.
+//
+// The analyzer also reserves the "causal." attribute-key namespace: the
+// causal DAG builder treats causal.self and causal.cause structurally, so
+// hand-rolling them through trace.Str/trace.I64 (or inventing new causal.*
+// keys) would bypass the ref-allocation discipline that keeps the DAG
+// acyclic. Call sites must use trace.Self and trace.Cause instead.
 package tracekeys
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
+	"strings"
 
 	"repro/internal/lint/analysis"
 )
@@ -60,6 +68,9 @@ func run(pass *analysis.Pass) (any, error) {
 					continue
 				}
 				if tv, ok := pass.TypesInfo.Types[call.Args[i]]; ok && tv.Value != nil {
+					if p.Name() == "key" && strings.HasPrefix(constString(tv), "causal.") {
+						pass.Reportf(call.Args[i].Pos(), "the causal. attribute namespace is reserved for the causal DAG; use trace.Self/trace.Cause instead of passing %q to %s.%s", constString(tv), fn.Pkg().Name(), fn.Name())
+					}
 					continue
 				}
 				pass.Reportf(call.Args[i].Pos(), "non-constant %s argument to %s.%s breaks the zero-alloc-when-disabled guarantee; use a constant or annotate //simlint:allow tracekeys <reason>", p.Name(), fn.Pkg().Name(), fn.Name())
@@ -68,6 +79,15 @@ func run(pass *analysis.Pass) (any, error) {
 		})
 	}
 	return nil, nil
+}
+
+// constString returns the string value of a constant expression, or "" when
+// the constant is not a string.
+func constString(tv types.TypeAndValue) string {
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
 }
 
 // callee resolves the called function or method, if statically known.

@@ -33,7 +33,11 @@ type Region struct {
 	Key      RKey
 	Buf      *Buffer
 	Off, Len int
-	pinned   bool
+	// RegRef is the causal ref of the "mem.register" span that pinned the
+	// region (RefNone for free registrations or with tracing off); layers
+	// that wait on registration chain their next event from it.
+	RegRef trace.Ref
+	pinned bool
 }
 
 // Valid reports whether the region is still registered.
@@ -91,11 +95,14 @@ func (t *RegTable) Register(p *sim.Proc, buf *Buffer, off, n int) *Region {
 		panic(fmt.Sprintf("mem %s: register [%d,%d) of %d-byte buffer", t.name, off, off+n, buf.Len()))
 	}
 	pages := buf.Pages(off, n)
-	sp := t.eng.Trc().Begin(t.name, "mem.register", trace.I64("bytes", int64(n)), trace.I64("pages", int64(pages)))
+	t0 := t.eng.Now()
 	p.Sleep(t.Cost.Of(pages))
-	sp.End()
+	ref := t.eng.Trc().CompleteR(t.name, "mem.register", int64(t0), int64(t.eng.Now()),
+		trace.I64("bytes", int64(n)), trace.I64("pages", int64(pages)))
 	t.cPages.Add(int64(pages))
-	return t.register(buf, off, n)
+	r := t.register(buf, off, n)
+	r.RegRef = ref
+	return r
 }
 
 // RegisterFree pins without charging time; used for setup-time registrations

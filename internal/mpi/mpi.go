@@ -135,18 +135,37 @@ type Request struct {
 	// Send state (verbs rendezvous).
 	sendLen    int
 	rndvRegion *mem.Region
+
+	// cause is the causal ref of the device/library event that completed
+	// the request (last placed packet, FIN arrival, rendezvous ack);
+	// Wait names it so the critical path crosses back into the host.
+	cause trace.Ref
 }
 
 // Done reports completion without blocking.
 func (r *Request) Done() bool { return r.done.Fired() }
 
+// CauseRef returns the causal ref of the event that completed the request
+// (RefNone while pending or with tracing off).
+func (r *Request) CauseRef() trace.Ref { return r.cause }
+
 // Wait blocks until the operation completes, progressing the MPI engine.
+// The recorded span names both the rank's previous call (program order) and
+// the completing device event, so the causal DAG can tell time the rank
+// spent blocked from time it spent computing.
 func (r *Request) Wait(pr *sim.Proc) Status {
-	if r.p.mxb != nil {
-		r.p.mxb.wait(pr, r)
-		return r.status
+	p := r.p
+	t0 := pr.Now()
+	if p.mxb != nil {
+		p.mxb.wait(pr, r)
+	} else {
+		p.progressUntil(pr, r.done.Fired)
 	}
-	r.p.progressUntil(pr, r.done.Fired)
+	tr := p.eng().Trc()
+	ref := tr.NewRef()
+	tr.CompleteSelf(p.track, "mpi.wait", ref, int64(t0), int64(pr.Now()),
+		trace.Cause(p.lastCall), trace.Cause(r.cause))
+	p.lastCall = ref
 	return r.status
 }
 
@@ -182,11 +201,20 @@ type Process struct {
 	posted     []*Request
 	unexpected []*umsg
 
+	// lastCall is the causal ref of the rank's most recent MPI call span;
+	// each call names its predecessor, encoding program order as DAG edges.
+	lastCall trace.Ref
+
 	// Stats.
 	EagerSends, RndvSends int64
 	UnexpectedMatches     int64
 	PostedMatches         int64
 }
+
+// LastCallRef returns the causal ref of this rank's most recent MPI call
+// span (RefNone with tracing off). Breakdown drivers hand it to
+// internal/causal as the terminal node of the operation under analysis.
+func (p *Process) LastCallRef() trace.Ref { return p.lastCall }
 
 // umsg is an unexpected-queue entry (verbs binding).
 type umsg struct {
@@ -194,6 +222,7 @@ type umsg struct {
 	sync        bool
 	bounce      *bounceBuf // eager payload parked in its bounce buffer
 	senderReq   uint64     // rendezvous RTS: the sender's request id
+	cause       trace.Ref  // arrival instant of the parked message
 }
 
 // NewWorld builds an MPI job over a testbed and completes MPI_Init-style
@@ -325,13 +354,19 @@ func (p *Process) Isend(pr *sim.Proc, dst, tag int, buf *mem.Buffer, off, n int)
 
 func (p *Process) isend(pr *sim.Proc, dst, tag int, buf *mem.Buffer, off, n int, sync bool) *Request {
 	p.checkArgs(dst, tag, n)
+	tr := p.eng().Trc()
+	t0 := pr.Now()
+	ref := tr.NewRef() // span ref, threaded into the work requests posted below
 	pr.Sleep(p.world.cfg.CallOverhead)
 	req := &Request{p: p, done: sim.NewCompletion(p.eng()), sendLen: n}
 	if p.mxb != nil {
-		p.mxb.isend(pr, req, dst, tag, buf, off, n, sync)
+		p.mxb.isend(pr, req, dst, tag, buf, off, n, sync, ref)
 	} else {
-		p.vb.isend(pr, req, dst, tag, buf, off, n, sync)
+		p.vb.isend(pr, req, dst, tag, buf, off, n, sync, ref)
 	}
+	tr.CompleteSelf(p.track, "mpi.isend", ref, int64(t0), int64(pr.Now()),
+		trace.Cause(p.lastCall), trace.I64("dst", int64(dst)), trace.I64("bytes", int64(n)))
+	p.lastCall = ref
 	return req
 }
 
@@ -349,13 +384,19 @@ func (p *Process) Irecv(pr *sim.Proc, src, tag int, buf *mem.Buffer, off, n int)
 	if tag != AnyTag && (tag < 0 || tag >= maxUserTag+16) {
 		panic(fmt.Sprintf("mpi: bad tag %d", tag))
 	}
+	tr := p.eng().Trc()
+	t0 := pr.Now()
+	ref := tr.NewRef()
 	pr.Sleep(p.world.cfg.CallOverhead)
 	req := &Request{p: p, done: sim.NewCompletion(p.eng()), isRecv: true, src: src, tag: tag, buf: buf, off: off, n: n}
 	if p.mxb != nil {
-		p.mxb.irecv(pr, req)
+		p.mxb.irecv(pr, req, ref)
 	} else {
-		p.vb.irecv(pr, req)
+		p.vb.irecv(pr, req, ref)
 	}
+	tr.CompleteSelf(p.track, "mpi.irecv", ref, int64(t0), int64(pr.Now()),
+		trace.Cause(p.lastCall), trace.I64("src", int64(src)), trace.I64("bytes", int64(n)))
+	p.lastCall = ref
 	return req
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mx"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // MX match-bit layout used by the MPICH-MX binding:
@@ -48,7 +49,7 @@ func (b *mxbind) rankOf(e *mx.Endpoint) int {
 	panic("mpi: unknown MX endpoint")
 }
 
-func (b *mxbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer, off, n int, sync bool) {
+func (b *mxbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer, off, n int, sync bool, self trace.Ref) {
 	p := b.p
 	if n <= p.world.cfg.EagerThreshold {
 		p.EagerSends++
@@ -61,21 +62,27 @@ func (b *mxbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer
 	if sync {
 		bits |= mxSyncBit
 	}
-	h := b.ep().Isend(pr, b.peerEP(dst), bits, buf, off, n)
+	h := b.ep().IsendCause(pr, b.peerEP(dst), bits, buf, off, n, self)
 	if !sync {
-		h.Done().OnFire(req.done.Fire)
+		h.Done().OnFire(func() {
+			req.cause = h.Cause
+			req.done.Fire()
+		})
 		return
 	}
 	// Synchronous send: also wait for the receiver's ack. Identical
 	// concurrent Ssends share ack bits; FIFO matching keeps them paired.
 	ackBits := mxAckBit | mxBits(dst, tag)
-	ah := b.ep().Irecv(pr, ackBits, ^uint64(0), b.tiny, 0, 0)
+	ah := b.ep().IrecvCause(pr, ackBits, ^uint64(0), b.tiny, 0, 0, self)
 	h.Done().OnFire(func() {
-		ah.Done().OnFire(req.done.Fire)
+		ah.Done().OnFire(func() {
+			req.cause = ah.Cause
+			req.done.Fire()
+		})
 	})
 }
 
-func (b *mxbind) irecv(pr *sim.Proc, req *Request) {
+func (b *mxbind) irecv(pr *sim.Proc, req *Request, self trace.Ref) {
 	p := b.p
 	var mask uint64 = mxAckBit // regular receives never match internal acks
 	var bits uint64
@@ -87,17 +94,19 @@ func (b *mxbind) irecv(pr *sim.Proc, req *Request) {
 		mask |= mxTagMask
 		bits |= uint64(uint32(req.tag))
 	}
-	h := b.ep().Irecv(pr, bits, mask, req.buf, req.off, req.n)
+	h := b.ep().IrecvCause(pr, bits, mask, req.buf, req.off, req.n, self)
 	h.Done().OnFire(func() {
 		req.status = Status{Source: b.rankOf(h.Src), Tag: int(uint32(h.Match)), Count: h.Len}
+		req.cause = h.Cause
 		req.done.Fire()
 		if h.Match&mxSyncBit != 0 {
 			// The sender used Ssend: return the ack from a helper process
 			// (the MX library does this inside its progress path).
 			src := h.Src
 			tag := int(uint32(h.Match))
+			cause := h.Cause
 			p.eng().Go(fmt.Sprintf("mpi/r%d/sync-ack", p.rank), func(ap *sim.Proc) {
-				b.ep().Isend(ap, src, mxAckBit|mxBits(p.rank, tag), b.tiny, 0, 0)
+				b.ep().IsendCause(ap, src, mxAckBit|mxBits(p.rank, tag), b.tiny, 0, 0, cause)
 			})
 		}
 	})

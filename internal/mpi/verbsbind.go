@@ -257,11 +257,13 @@ func (b *vbind) getSendBounce(pr *sim.Proc) *bounceBuf {
 }
 
 // sendCtrl transmits a header-only control message on the control QP.
-func (b *vbind) sendCtrl(pr *sim.Proc, dst int, hdr wireHdr) {
-	b.sendCtrlOn(pr, b.qps[dst], hdr)
+// cause names the event that motivated the message (an MPI call span, an
+// arrival instant, a registration) for the causal DAG.
+func (b *vbind) sendCtrl(pr *sim.Proc, dst int, hdr wireHdr, cause trace.Ref) {
+	b.sendCtrlOn(pr, b.qps[dst], hdr, cause)
 }
 
-func (b *vbind) sendCtrlOn(pr *sim.Proc, qp verbs.QP, hdr wireHdr) {
+func (b *vbind) sendCtrlOn(pr *sim.Proc, qp verbs.QP, hdr wireHdr, cause trace.Ref) {
 	bb := b.getSendBounce(pr)
 	hdr.encode(bb.buf.Bytes())
 	qp.PostSend(pr, verbs.WR{
@@ -269,11 +271,14 @@ func (b *vbind) sendCtrlOn(pr *sim.Proc, qp verbs.QP, hdr wireHdr) {
 		Op:    verbs.OpSend,
 		Local: bb.reg,
 		Len:   hdrBytes,
+		Cause: cause,
 	})
 }
 
-// isend implements standard and synchronous non-blocking sends.
-func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer, off, n int, sync bool) {
+// isend implements standard and synchronous non-blocking sends. self is the
+// causal ref of the enclosing MPI call span; the posted work requests carry
+// it across the host/device boundary.
+func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer, off, n int, sync bool, self trace.Ref) {
 	p := b.p
 	b.ensurePeer(pr, dst)
 	b.drain(pr)
@@ -299,6 +304,7 @@ func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer,
 			Op:    verbs.OpSend,
 			Local: bb.reg,
 			Len:   hdrBytes + n,
+			Cause: self,
 		})
 		if !sync {
 			req.done.Fire() // buffer is reusable after the copy
@@ -312,15 +318,16 @@ func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer,
 	p.eng().Trc().Instant(p.track, "send.rts",
 		trace.I64("dst", int64(dst)), trace.I64("tag", int64(tag)), trace.I64("bytes", int64(n)))
 	req.buf, req.off, req.n = buf, off, n
-	b.sendCtrl(pr, dst, wireHdr{kind: kRTS, src: p.rank, tag: tag, size: n, reqA: b.newReq(req)})
+	b.sendCtrl(pr, dst, wireHdr{kind: kRTS, src: p.rank, tag: tag, size: n, reqA: b.newReq(req)}, self)
 }
 
-// irecv implements the non-blocking receive.
-func (b *vbind) irecv(pr *sim.Proc, req *Request) {
+// irecv implements the non-blocking receive. self is the causal ref of the
+// enclosing MPI call span.
+func (b *vbind) irecv(pr *sim.Proc, req *Request, self trace.Ref) {
 	p := b.p
 	b.drain(pr)
 	if m := p.matchUnexpected(pr, req.src, req.tag); m != nil {
-		b.deliverUnexpected(pr, m, req)
+		b.deliverUnexpected(pr, m, req, self)
 		return
 	}
 	p.posted = append(p.posted, req)
@@ -328,7 +335,9 @@ func (b *vbind) irecv(pr *sim.Proc, req *Request) {
 }
 
 // deliverUnexpected completes a receive against an unexpected-queue entry.
-func (b *vbind) deliverUnexpected(pr *sim.Proc, m *umsg, req *Request) {
+// self is the receive call's span ref; the parked message's arrival instant
+// (m.cause) is what completed the request.
+func (b *vbind) deliverUnexpected(pr *sim.Proc, m *umsg, req *Request, self trace.Ref) {
 	p := b.p
 	if m.n > req.n {
 		panic(fmt.Sprintf("mpi r%d: %d-byte message truncated by %d-byte receive", p.rank, m.n, req.n))
@@ -341,28 +350,40 @@ func (b *vbind) deliverUnexpected(pr *sim.Proc, m *umsg, req *Request) {
 		}
 		b.repostQ = append(b.repostQ, m.bounce)
 		if m.sync {
-			b.sendCtrl(pr, m.src, wireHdr{kind: kSyncAck, src: p.rank, reqB: m.senderReq})
+			b.sendCtrl(pr, m.src, wireHdr{kind: kSyncAck, src: p.rank, reqB: m.senderReq}, self)
 		}
+		req.cause = m.cause
 		req.done.Fire()
 		return
 	}
-	// Unexpected RTS: run the receiver half of the rendezvous.
-	b.startRndvRecv(pr, m.src, m.tag, m.n, m.senderReq, req)
+	// Unexpected RTS: run the receiver half of the rendezvous. The CTS is
+	// enabled by this receive call (the RTS was already waiting).
+	b.startRndvRecv(pr, m.src, m.tag, m.n, m.senderReq, req, self)
 }
 
-// startRndvRecv registers the receive buffer and returns the CTS.
-func (b *vbind) startRndvRecv(pr *sim.Proc, src, tag, n int, senderReq uint64, req *Request) {
+// startRndvRecv registers the receive buffer and returns the CTS. cause is
+// the event that enabled the CTS (RTS arrival or the receive call); the
+// registration span supersedes it when the pin was actually charged.
+func (b *vbind) startRndvRecv(pr *sim.Proc, src, tag, n int, senderReq uint64, req *Request, cause trace.Ref) {
 	p := b.p
 	if n > req.n {
 		panic(fmt.Sprintf("mpi r%d: %d-byte rendezvous truncated by %d-byte receive", p.rank, n, req.n))
 	}
 	req.status = Status{Source: src, Tag: tag, Count: n}
+	// A cache hit returns a region whose RegRef names a long-finished
+	// registration span; only a freshly-charged pin supersedes cause.
+	_, m0, _ := b.regCache.Stats()
 	region := b.regCache.Get(pr, req.buf, req.off, n)
+	_, m1, _ := b.regCache.Stats()
 	req.rndvRegion = region
+	ctsCause := cause
+	if m1 > m0 && region.RegRef != trace.RefNone {
+		ctsCause = region.RegRef
+	}
 	b.sendCtrl(pr, src, wireHdr{
 		kind: kCTS, src: p.rank, tag: tag, size: n,
 		reqA: b.newReq(req), reqB: senderReq, rkey: region.Key,
-	})
+	}, ctsCause)
 }
 
 // drain handles every already-delivered completion without blocking.
@@ -414,26 +435,29 @@ func (b *vbind) handle(pr *sim.Proc, comp verbs.Completion) {
 		// receiver (the FIN rides the data QP, ordered after the write),
 		// then the send request is complete.
 		b.regCache.Put(pr, info.region)
-		b.sendCtrlOn(pr, b.dataQPs[info.peer], wireHdr{kind: kFIN, src: b.p.rank, reqB: info.peerReq})
+		b.sendCtrlOn(pr, b.dataQPs[info.peer], wireHdr{kind: kFIN, src: b.p.rank, reqB: info.peerReq}, comp.Cause)
+		info.req.cause = comp.Cause
 		info.req.done.Fire()
 	case wrRecvBounce:
-		b.handleArrival(pr, info.bounce)
+		b.handleArrival(pr, info.bounce, comp.Cause)
 	}
 }
 
-// handleArrival dispatches one arrived channel message.
-func (b *vbind) handleArrival(pr *sim.Proc, bb *bounceBuf) {
+// handleArrival dispatches one arrived channel message. cause is the causal
+// ref of the device event that delivered it (the receive completion's
+// placed/rx event).
+func (b *vbind) handleArrival(pr *sim.Proc, bb *bounceBuf, cause trace.Ref) {
 	p := b.p
 	hdr := decodeHdr(bb.buf.Bytes())
 	switch hdr.kind {
 	case kEager, kEagerSyn:
-		p.eng().Trc().Instant(p.track, "recv.eager",
+		ref := p.eng().Trc().InstantR(p.track, "recv.eager", trace.Cause(cause),
 			trace.I64("src", int64(hdr.src)), trace.I64("tag", int64(hdr.tag)), trace.I64("bytes", int64(hdr.size)))
 		req := p.matchPosted(pr, hdr.src, hdr.tag)
 		if req == nil {
 			p.unexpected = append(p.unexpected, &umsg{
 				src: hdr.src, tag: hdr.tag, n: hdr.size,
-				sync: hdr.kind == kEagerSyn, bounce: bb, senderReq: hdr.reqA,
+				sync: hdr.kind == kEagerSyn, bounce: bb, senderReq: hdr.reqA, cause: ref,
 			})
 			p.noteUnexpected()
 			return // bounce stays parked until the matching receive
@@ -446,41 +470,53 @@ func (b *vbind) handleArrival(pr *sim.Proc, bb *bounceBuf) {
 		}
 		req.status = Status{Source: hdr.src, Tag: hdr.tag, Count: hdr.size}
 		if hdr.kind == kEagerSyn {
-			b.sendCtrl(pr, hdr.src, wireHdr{kind: kSyncAck, src: p.rank, reqB: hdr.reqA})
+			b.sendCtrl(pr, hdr.src, wireHdr{kind: kSyncAck, src: p.rank, reqB: hdr.reqA}, ref)
 		}
+		req.cause = ref
 		req.done.Fire()
 		b.repostQ = append(b.repostQ, bb)
 	case kRTS:
-		p.eng().Trc().Instant(p.track, "recv.rts",
+		ref := p.eng().Trc().InstantR(p.track, "recv.rts", trace.Cause(cause),
 			trace.I64("src", int64(hdr.src)), trace.I64("tag", int64(hdr.tag)), trace.I64("bytes", int64(hdr.size)))
 		req := p.matchPosted(pr, hdr.src, hdr.tag)
 		if req == nil {
-			p.unexpected = append(p.unexpected, &umsg{src: hdr.src, tag: hdr.tag, n: hdr.size, senderReq: hdr.reqA})
+			p.unexpected = append(p.unexpected, &umsg{src: hdr.src, tag: hdr.tag, n: hdr.size, senderReq: hdr.reqA, cause: ref})
 			p.noteUnexpected()
 		} else {
-			b.startRndvRecv(pr, hdr.src, hdr.tag, hdr.size, hdr.reqA, req)
+			b.startRndvRecv(pr, hdr.src, hdr.tag, hdr.size, hdr.reqA, req, ref)
 		}
 		b.repostQ = append(b.repostQ, bb)
 	case kCTS:
-		p.eng().Trc().Instant(p.track, "recv.cts", trace.I64("src", int64(hdr.src)), trace.I64("bytes", int64(hdr.size)))
+		ref := p.eng().Trc().InstantR(p.track, "recv.cts", trace.Cause(cause),
+			trace.I64("src", int64(hdr.src)), trace.I64("bytes", int64(hdr.size)))
 		sreq := b.takeReq(hdr.reqB)
+		_, m0, _ := b.regCache.Stats()
 		region := b.regCache.Get(pr, sreq.buf, sreq.off, sreq.n)
+		_, m1, _ := b.regCache.Stats()
+		wrCause := ref
+		if m1 > m0 && region.RegRef != trace.RefNone {
+			wrCause = region.RegRef
+		}
 		b.dataQPs[hdr.src].PostSend(pr, verbs.WR{
 			ID:        b.newWR(&wrInfo{kind: wrRndvWrite, peer: hdr.src, req: sreq, peerReq: hdr.reqA, region: region}),
 			Op:        verbs.OpWrite,
 			Local:     region,
 			Len:       hdr.size,
 			RemoteKey: hdr.rkey,
+			Cause:     wrCause,
 		})
 		b.repostQ = append(b.repostQ, bb)
 	case kFIN:
-		p.eng().Trc().Instant(p.track, "recv.fin", trace.I64("src", int64(hdr.src)))
+		ref := p.eng().Trc().InstantR(p.track, "recv.fin", trace.Cause(cause), trace.I64("src", int64(hdr.src)))
 		rreq := b.takeReq(hdr.reqB)
 		b.regCache.Put(pr, rreq.rndvRegion)
+		rreq.cause = ref
 		rreq.done.Fire()
 		b.repostQ = append(b.repostQ, bb)
 	case kSyncAck:
-		b.takeReq(hdr.reqB).done.Fire()
+		req := b.takeReq(hdr.reqB)
+		req.cause = cause
+		req.done.Fire()
 		b.repostQ = append(b.repostQ, bb)
 	default:
 		panic(fmt.Sprintf("mpi r%d: bad wire kind %d", p.rank, hdr.kind))

@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config is the endpoint cost model.
@@ -104,6 +105,11 @@ type Handle struct {
 	Src *Endpoint
 	// Match carries the message's match bits.
 	Match uint64
+	// Cause is the causal ref of the NIC event that completed the
+	// operation (last placed packet, completion writeback, rendezvous
+	// ack), for the MPI binding to chain from. RefNone when tracing is
+	// off.
+	Cause trace.Ref
 	ep    *Endpoint
 }
 
@@ -143,6 +149,10 @@ type xfer struct {
 	got       int
 	unexpData []byte          // assembled payload when unexpected
 	arrived   *sim.Completion // fires when an unexpected message is fully in the ring
+	// txCause / rxCause carry the latest causal ref on each side of the
+	// transfer (sender NIC chain, receiver NIC chain). In-memory only.
+	txCause trace.Ref
+	rxCause trace.Ref
 }
 
 // packet is the fabric payload.
@@ -154,6 +164,7 @@ type packet struct {
 	n     int
 	first bool
 	last  bool
+	cause trace.Ref // causal ref of the event that emitted / delivered this packet
 }
 
 // postedRecv is one NIC-resident receive entry.
@@ -237,17 +248,30 @@ func (e *Endpoint) RegCache() *mem.RegCache { return e.regs }
 // endpoint has no modeled protocol-engine occupancy to stall, so the only
 // fault kinds that reach MX are link-level ones (flap, rate, congest) — see
 // internal/faults.
-func (e *Endpoint) Deliver(f *fabric.Frame) { e.rxQ.Put(f.Payload.(*packet)) }
+func (e *Endpoint) Deliver(f *fabric.Frame) {
+	pk := f.Payload.(*packet)
+	pk.cause = f.Cause // chain NIC rx processing from the delivering wire hop
+	e.rxQ.Put(pk)
+}
 
 // Isend starts a non-blocking matched send of n bytes to peer.
 func (e *Endpoint) Isend(p *sim.Proc, peer *Endpoint, match uint64, buf *mem.Buffer, off, n int) *Handle {
+	return e.IsendCause(p, peer, match, buf, off, n, trace.RefNone)
+}
+
+// IsendCause is Isend with an explicit causal parent (the MPI-layer span
+// that motivated the send).
+func (e *Endpoint) IsendCause(p *sim.Proc, peer *Endpoint, match uint64, buf *mem.Buffer, off, n int, cause trace.Ref) *Handle {
 	if n < 0 || peer == e {
 		panic(fmt.Sprintf("mx %s: bad send (n=%d)", e.name, n))
 	}
 	h := &Handle{done: sim.NewCompletion(e.eng), Len: n, Match: match, ep: e}
 	x := &xfer{src: e, dst: peer, match: match, n: n, sendH: h}
 	x.payload = append([]byte(nil), buf.Slice(off, n)...)
+	post := e.eng.Now()
 	p.Sleep(e.cfg.PostOverhead)
+	x.txCause = e.eng.Trc().CompleteR(e.name, "doorbell", int64(post), int64(e.eng.Now()),
+		trace.Cause(cause), trace.I64("bytes", int64(n)))
 	if n <= e.cfg.EagerMax {
 		e.EagerSent++
 		e.cEager.Inc()
@@ -304,7 +328,10 @@ func (e *Endpoint) txPackets(np *sim.Proc, x *xfer, dma bool) {
 			}
 			np.SleepUntil(cur)
 		}
+		t0 := np.Now()
 		e.nic.Use(np, e.cfg.TxPktTime)
+		x.txCause = e.eng.Trc().CompleteR(e.name, "tx-pkt", int64(t0), int64(np.Now()),
+			trace.Cause(x.txCause), trace.I64("bytes", int64(take)))
 		e.sendPacket(x, &packet{
 			kind:  pktEager,
 			x:     x,
@@ -313,6 +340,7 @@ func (e *Endpoint) txPackets(np *sim.Proc, x *xfer, dma bool) {
 			n:     take,
 			first: off == 0,
 			last:  off+take >= x.n,
+			cause: x.txCause,
 		})
 		if x.n == 0 {
 			break
@@ -320,7 +348,10 @@ func (e *Endpoint) txPackets(np *sim.Proc, x *xfer, dma bool) {
 	}
 	// Completion writeback occupies the NIC processor briefly, then the
 	// eager send completes locally.
+	t0 := np.Now()
 	e.nic.Use(np, e.cfg.TxDoneTime)
+	x.sendH.Cause = e.eng.Trc().CompleteR(e.name, "tx-done", int64(t0), int64(np.Now()),
+		trace.Cause(x.txCause))
 	x.sendH.done.Fire()
 }
 
@@ -332,8 +363,11 @@ func (e *Endpoint) rndvSend(p *sim.Proc, x *xfer, buf *mem.Buffer, off int) {
 			// Pin the source buffer in RegChunk pieces through the internal
 			// cache while the RTS travels.
 			e.pin(np, buf, off, x.n)
+			t0 := np.Now()
 			e.nic.Use(np, e.cfg.TxPktTime)
-			e.sendPacket(x, &packet{kind: pktRTS, x: x, n: 16})
+			x.txCause = e.eng.Trc().CompleteR(e.name, "tx-pkt", int64(t0), int64(np.Now()),
+				trace.Cause(x.txCause), trace.Str("pkt", "rts"))
+			e.sendPacket(x, &packet{kind: pktRTS, x: x, n: 16, cause: x.txCause})
 		})
 	})
 }
@@ -356,6 +390,7 @@ func (e *Endpoint) sendPacket(x *xfer, pk *packet) {
 		Dst:     x.dst.port.ID(),
 		Bytes:   pk.n + e.cfg.PacketHeader,
 		Payload: pk,
+		Cause:   pk.cause,
 	})
 }
 
@@ -366,6 +401,7 @@ func (e *Endpoint) sendPacketTo(dst *Endpoint, pk *packet) {
 		Dst:     dst.port.ID(),
 		Bytes:   pk.n + e.cfg.PacketHeader,
 		Payload: pk,
+		Cause:   pk.cause,
 	})
 }
 
@@ -373,8 +409,17 @@ func (e *Endpoint) sendPacketTo(dst *Endpoint, pk *packet) {
 // its unexpected queue (cheap, host-side); if nothing matches, the receive
 // is handed to the NIC's posted queue.
 func (e *Endpoint) Irecv(p *sim.Proc, match, mask uint64, buf *mem.Buffer, off, n int) *Handle {
+	return e.IrecvCause(p, match, mask, buf, off, n, trace.RefNone)
+}
+
+// IrecvCause is Irecv with an explicit causal parent (the MPI-layer span
+// that posted the receive).
+func (e *Endpoint) IrecvCause(p *sim.Proc, match, mask uint64, buf *mem.Buffer, off, n int, cause trace.Ref) *Handle {
 	h := &Handle{done: sim.NewCompletion(e.eng), ep: e}
+	post := e.eng.Now()
 	p.Sleep(e.cfg.PostOverhead)
+	e.eng.Trc().CompleteR(e.name, "doorbell", int64(post), int64(e.eng.Now()),
+		trace.Cause(cause), trace.Str("op", "irecv"))
 	// Host-side unexpected search.
 	for i, x := range e.unexpected {
 		e.TraversedUnexpectedEnts++
@@ -422,6 +467,7 @@ func (e *Endpoint) consumeUnexpected(p *sim.Proc, x *xfer, buf *mem.Buffer, off,
 				np.Sleep(ringCopy)
 				copy(buf.Slice(off, x.n), x.unexpData[:x.n])
 			}
+			h.Cause = x.rxCause
 			h.done.Fire()
 		}
 		if x.arrived == nil || x.arrived.Fired() {
@@ -442,8 +488,11 @@ func (e *Endpoint) consumeUnexpected(p *sim.Proc, x *xfer, buf *mem.Buffer, off,
 	x.recvOff = off
 	e.eng.Go(e.name+"/cts", func(np *sim.Proc) {
 		e.pin(np, buf, off, x.n)
+		t0 := np.Now()
 		e.nic.Use(np, e.cfg.TxPktTime)
-		e.sendPacketTo(x.src, &packet{kind: pktCTS, x: x, n: 16})
+		x.rxCause = e.eng.Trc().CompleteR(e.name, "tx-pkt", int64(t0), int64(np.Now()),
+			trace.Cause(x.rxCause), trace.Str("pkt", "cts"))
+		e.sendPacketTo(x.src, &packet{kind: pktCTS, x: x, n: 16, cause: x.rxCause})
 	})
 }
 
@@ -461,7 +510,10 @@ func (e *Endpoint) rxLoop(p *sim.Proc) {
 		case pktRndvData:
 			e.rxRndvData(p, pk)
 		case pktRndvAck:
+			t0 := p.Now()
 			e.nic.Use(p, e.cfg.RxPktTime)
+			pk.x.sendH.Cause = e.eng.Trc().CompleteR(e.name, "rx-ack", int64(t0), int64(p.Now()),
+				trace.Cause(pk.cause))
 			pk.x.sendH.done.Fire()
 		}
 	}
@@ -508,6 +560,7 @@ func (e *Endpoint) matchFree(bits uint64) *postedRecv {
 // rxEager handles one eager data packet.
 func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 	x := pk.x
+	t0 := p.Now()
 	e.nic.Acquire(p, 1)
 	p.Sleep(e.cfg.RxPktTime)
 	if pk.first {
@@ -533,6 +586,8 @@ func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 		}
 	}
 	e.nic.Release(1)
+	rxRef := e.eng.Trc().CompleteR(e.name, "rx-pkt", int64(t0), int64(e.eng.Now()),
+		trace.Cause(pk.cause), trace.I64("bytes", int64(pk.n)))
 	if x.recvH != nil {
 		// Matched: DMA straight into the user buffer.
 		t := e.pcie.WriteFrom(e.eng.Now(), pk.n)
@@ -542,6 +597,7 @@ func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 			}
 			x.got += pk.n
 			if pk.last {
+				x.recvH.Cause = e.eng.Trc().InstantR(e.name, "placed", trace.Cause(rxRef))
 				x.recvH.done.Fire()
 			}
 		})
@@ -555,6 +611,7 @@ func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 		}
 		x.got += pk.n
 		if pk.last {
+			x.rxCause = e.eng.Trc().InstantR(e.name, "placed", trace.Cause(rxRef))
 			x.arrived.Fire()
 		}
 	})
@@ -563,10 +620,13 @@ func (e *Endpoint) rxEager(p *sim.Proc, pk *packet) {
 // rxRTS handles a rendezvous request: match now or park it as unexpected.
 func (e *Endpoint) rxRTS(p *sim.Proc, pk *packet) {
 	x := pk.x
+	t0 := p.Now()
 	e.nic.Acquire(p, 1)
 	p.Sleep(e.cfg.RxPktTime)
 	pr := e.match(p, x.match)
 	e.nic.Release(1)
+	x.rxCause = e.eng.Trc().CompleteR(e.name, "rx-pkt", int64(t0), int64(e.eng.Now()),
+		trace.Cause(pk.cause), trace.Str("pkt", "rts"))
 	if pr == nil {
 		e.UnexpectedArrivals++
 		e.cUnexp.Inc()
@@ -586,15 +646,21 @@ func (e *Endpoint) rxRTS(p *sim.Proc, pk *packet) {
 	// critical path ("progression thread").
 	e.eng.Go(e.name+"/cts", func(np *sim.Proc) {
 		e.pin(np, x.recvBuf, x.recvOff, x.n)
+		t0 := np.Now()
 		e.nic.Use(np, e.cfg.TxPktTime)
-		e.sendPacketTo(x.src, &packet{kind: pktCTS, x: x, n: 16})
+		x.rxCause = e.eng.Trc().CompleteR(e.name, "tx-pkt", int64(t0), int64(np.Now()),
+			trace.Cause(x.rxCause), trace.Str("pkt", "cts"))
+		e.sendPacketTo(x.src, &packet{kind: pktCTS, x: x, n: 16, cause: x.rxCause})
 	})
 }
 
 // rxCTS starts streaming rendezvous data at the sender.
 func (e *Endpoint) rxCTS(p *sim.Proc, pk *packet) {
 	x := pk.x
+	t0 := p.Now()
 	e.nic.Use(p, e.cfg.RxPktTime)
+	x.txCause = e.eng.Trc().CompleteR(e.name, "rx-pkt", int64(t0), int64(p.Now()),
+		trace.Cause(pk.cause), trace.Str("pkt", "cts"))
 	e.eng.Go(e.name+"/rndv-data", func(np *sim.Proc) {
 		ready := e.dmaRead(np.Now(), min(e.cfg.MTU, x.n))
 		for off := 0; off < x.n; off += e.cfg.MTU {
@@ -604,7 +670,10 @@ func (e *Endpoint) rxCTS(p *sim.Proc, pk *packet) {
 				ready = e.dmaRead(np.Now(), min(e.cfg.MTU, x.n-next))
 			}
 			np.SleepUntil(cur)
+			t1 := np.Now()
 			e.nic.Use(np, e.cfg.TxPktTime)
+			x.txCause = e.eng.Trc().CompleteR(e.name, "tx-pkt", int64(t1), int64(np.Now()),
+				trace.Cause(x.txCause), trace.I64("bytes", int64(take)))
 			e.sendPacket(x, &packet{
 				kind:  pktRndvData,
 				x:     x,
@@ -613,6 +682,7 @@ func (e *Endpoint) rxCTS(p *sim.Proc, pk *packet) {
 				n:     take,
 				first: off == 0,
 				last:  off+take == x.n,
+				cause: x.txCause,
 			})
 		}
 	})
@@ -621,15 +691,20 @@ func (e *Endpoint) rxCTS(p *sim.Proc, pk *packet) {
 // rxRndvData places rendezvous payload at the receiver.
 func (e *Endpoint) rxRndvData(p *sim.Proc, pk *packet) {
 	x := pk.x
+	t0 := p.Now()
 	e.nic.Use(p, e.cfg.RxPktTime)
+	rxRef := e.eng.Trc().CompleteR(e.name, "rx-pkt", int64(t0), int64(p.Now()),
+		trace.Cause(pk.cause), trace.I64("bytes", int64(pk.n)))
 	t := e.pcie.WriteFrom(e.eng.Now(), pk.n)
 	e.eng.At(t, func() {
 		copy(x.recvBuf.Slice(x.recvOff+pk.off, pk.n), pk.data)
 		x.got += pk.n
 		if pk.last {
+			placed := e.eng.Trc().InstantR(e.name, "placed", trace.Cause(rxRef))
+			x.recvH.Cause = placed
 			x.recvH.done.Fire()
 			// ACK releases the sender's handle.
-			e.sendPacketTo(x.src, &packet{kind: pktRndvAck, x: x, n: 8})
+			e.sendPacketTo(x.src, &packet{kind: pktRndvAck, x: x, n: 8, cause: placed})
 		}
 	})
 }

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // jobs is the pool width used by For. It defaults to GOMAXPROCS and is
@@ -59,6 +60,10 @@ func For(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	poolMu.Lock()
+	pool.batches++
+	poolMu.Unlock()
+	var done int // completed tasks of this batch, guarded by poolMu
 	workers := Jobs()
 	if workers > n {
 		workers = n
@@ -68,7 +73,16 @@ func For(n int, fn func(i int) error) error {
 		// equivalent to the parallel path, it *is* the plain loop.
 		var first error
 		for i := 0; i < n; i++ {
-			if err := run(i, fn); err != nil && first == nil {
+			poolMu.Lock()
+			taskClaimed(i, n)
+			poolMu.Unlock()
+			t0 := time.Now()
+			err := run(i, fn)
+			poolMu.Lock()
+			done++
+			taskDone(0, time.Since(t0), done, n)
+			poolMu.Unlock()
+			if err != nil && first == nil {
 				first = err
 			}
 		}
@@ -78,6 +92,7 @@ func For(n int, fn func(i int) error) error {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -86,7 +101,15 @@ func For(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				poolMu.Lock()
+				taskClaimed(i, n)
+				poolMu.Unlock()
+				t0 := time.Now()
 				errs[i] = run(i, fn)
+				poolMu.Lock()
+				done++
+				taskDone(w, time.Since(t0), done, n)
+				poolMu.Unlock()
 			}
 		}()
 	}

@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPoolStatsAccounting(t *testing.T) {
+	old := Jobs()
+	defer SetJobs(old)
+	ResetStats()
+	SetJobs(4)
+	const n = 10
+	if err := For(n, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := Stats()
+	if s.Tasks != n {
+		t.Fatalf("tasks = %d, want %d", s.Tasks, n)
+	}
+	if s.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", s.Batches)
+	}
+	// The first claim leaves n-1 tasks pending.
+	if s.QueueHighWater != n-1 {
+		t.Fatalf("queue high-water = %d, want %d", s.QueueHighWater, n-1)
+	}
+	if len(s.BusyByWorker) == 0 || len(s.BusyByWorker) > 4 {
+		t.Fatalf("busy-by-worker has %d slots, want 1..4", len(s.BusyByWorker))
+	}
+	var busy time.Duration
+	for _, b := range s.BusyByWorker {
+		busy += b
+	}
+	if busy < n*time.Millisecond {
+		t.Fatalf("cumulative busy %v, want >= %v", busy, n*time.Millisecond)
+	}
+	if s.TaskSeconds.Count != n {
+		t.Fatalf("latency histogram has %d samples, want %d", s.TaskSeconds.Count, n)
+	}
+	if Summary() == "" {
+		t.Fatal("empty summary line")
+	}
+}
+
+func TestPoolStatsSequentialPath(t *testing.T) {
+	old := Jobs()
+	defer SetJobs(old)
+	ResetStats()
+	SetJobs(1)
+	if err := For(3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := Stats()
+	if s.Tasks != 3 || s.Batches != 1 {
+		t.Fatalf("tasks/batches = %d/%d, want 3/1", s.Tasks, s.Batches)
+	}
+	if len(s.BusyByWorker) != 1 {
+		t.Fatalf("sequential runs account %d workers, want 1", len(s.BusyByWorker))
+	}
+}
+
+func TestProgressHookCountsEveryTask(t *testing.T) {
+	old := Jobs()
+	defer SetJobs(old)
+	defer SetProgress(nil)
+	ResetStats()
+	SetJobs(8)
+	var dones []int
+	var total int
+	SetProgress(func(done, tot int) { dones = append(dones, done); total = tot })
+	const n = 20
+	if err := For(n, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != n || total != n {
+		t.Fatalf("progress fired %d times (total %d), want %d", len(dones), total, n)
+	}
+	// done counts are serialized under the stats lock, so they ascend.
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress done[%d] = %d, want %d", i, d, i+1)
+		}
+	}
+}

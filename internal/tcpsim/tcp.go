@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Record is one application message (MPA FPDU) given to Send.
@@ -83,6 +84,12 @@ type Conn struct {
 	// byte of a sent record. NIC models use it to generate reliable send
 	// completions.
 	OnRecordAcked func(meta any)
+
+	// OnRetransmit, if set, receives the causal ref of the retransmission
+	// trigger (RTO firing or third duplicate ACK) just before the rewound
+	// bytes become sendable again. NIC models chain the retransmitted
+	// segments from it so protocol stalls show up on the causal path.
+	OnRetransmit func(trace.Ref)
 
 	// Sender state.
 	sndUna   uint64 // oldest unacknowledged sequence number
@@ -270,6 +277,10 @@ func (c *Conn) timeout() {
 	if c.backoff < maxBackoffShift {
 		c.backoff++
 	}
+	ref := c.eng.Trc().InstantR(c.name, "tcp.rto", trace.I64("backoff", int64(c.backoff)))
+	if c.OnRetransmit != nil {
+		c.OnRetransmit(ref)
+	}
 	c.goBackN()
 }
 
@@ -411,6 +422,10 @@ func (c *Conn) processAck(ack uint64, pure bool) {
 			// the timeout backoff is not escalated here.
 			c.FastRetransmits++
 			c.cFastRetrans.Inc()
+			ref := c.eng.Trc().InstantR(c.name, "tcp.fast-retx")
+			if c.OnRetransmit != nil {
+				c.OnRetransmit(ref)
+			}
 			c.goBackN()
 		}
 	}

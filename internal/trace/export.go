@@ -18,6 +18,7 @@ import (
 // tracks are numbered in order of first appearance, which is deterministic
 // because the simulation is.
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	t.warnIfLossy()
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
 	bw.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"sim"}}`)
@@ -49,10 +50,26 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	return bw.Flush()
 }
 
+// warnIfLossy prints the tracer's loss warning to stderr. Exporting a lossy
+// trace is legal (the spans that did fit are still useful in a viewer), but
+// it must never pass silently: downstream causal analysis depends on a
+// complete DAG.
+func (t *Tracer) warnIfLossy() {
+	if msg := t.LossWarning(); msg != "" {
+		fmt.Fprintln(os.Stderr, msg)
+	}
+}
+
 // WriteJSONL renders the buffer as one JSON object per line with raw
-// picosecond timestamps, for jq-style processing.
+// picosecond timestamps, for jq-style processing. The first line is a
+// metadata record carrying the drop counters so offline tools (cmd/tracetool)
+// can tell a complete trace from a truncated one.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	t.warnIfLossy()
 	bw := bufio.NewWriter(w)
+	d := t.DropStats()
+	fmt.Fprintf(bw, `{"ph":"M","name":"trace.meta","drops":{"spans":%d,"instants":%d,"counters":%d,"causal_edges":%d}}`+"\n",
+		d.Spans, d.Instants, d.Counters, d.CausalEdges)
 	for _, ev := range t.Events() {
 		fmt.Fprintf(bw, `{"ph":"%c","who":%s,"name":%s,"ts_ps":%d`,
 			ev.Ph, jsonString(ev.Who), jsonString(ev.Name), ev.Ts)
@@ -75,6 +92,19 @@ func (t *Tracer) WriteChromeFile(path string) error {
 		return err
 	}
 	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteJSONLFile writes the JSONL trace to path.
+func (t *Tracer) WriteJSONLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -137,21 +137,28 @@ func TestWriteJSONL(t *testing.T) {
 		}
 		lines = append(lines, m)
 	}
-	if len(lines) != 3 {
-		t.Fatalf("lines = %d, want 3", len(lines))
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (meta + 3 events)", len(lines))
+	}
+	// The first line is the metadata record with the drop counters.
+	if lines[0]["ph"].(string) != "M" || lines[0]["name"].(string) != "trace.meta" {
+		t.Fatalf("meta line = %+v", lines[0])
+	}
+	if drops := lines[0]["drops"].(map[string]any); drops["spans"].(float64) != 0 {
+		t.Fatalf("meta drops = %+v", drops)
 	}
 	// Raw picosecond timestamps, not microseconds.
-	if lines[0]["ts_ps"].(float64) != 1_000_000 {
-		t.Fatalf("instant line = %+v", lines[0])
+	if lines[1]["ts_ps"].(float64) != 1_000_000 {
+		t.Fatalf("instant line = %+v", lines[1])
 	}
-	if lines[1]["dur_ps"].(float64) != 1_500_000 {
-		t.Fatalf("span line = %+v", lines[1])
+	if lines[2]["dur_ps"].(float64) != 1_500_000 {
+		t.Fatalf("span line = %+v", lines[2])
 	}
-	if _, hasDur := lines[0]["dur_ps"]; hasDur {
-		t.Fatalf("instant line carries dur_ps: %+v", lines[0])
+	if _, hasDur := lines[1]["dur_ps"]; hasDur {
+		t.Fatalf("instant line carries dur_ps: %+v", lines[1])
 	}
-	if lines[1]["who"].(string) != "link.up.0" {
-		t.Fatalf("span who = %+v", lines[1])
+	if lines[2]["who"].(string) != "link.up.0" {
+		t.Fatalf("span who = %+v", lines[2])
 	}
 }
 

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ReadJSONL parses a trace written by WriteJSONL back into events plus the
+// drop counters from the metadata line. Traces written before the metadata
+// line existed parse with zero DropStats. Attribute values round-trip with
+// their kinds (integers stay integers), which causal analysis depends on for
+// the Self/Cause refs.
+func ReadJSONL(r io.Reader) ([]Event, DropStats, error) {
+	var (
+		events []Event
+		drops  DropStats
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var raw struct {
+			Ph    string `json:"ph"`
+			Who   string `json:"who"`
+			Name  string `json:"name"`
+			Ts    int64  `json:"ts_ps"`
+			Dur   int64  `json:"dur_ps"`
+			Attrs map[string]json.RawMessage
+			Drops *struct {
+				Spans       int64 `json:"spans"`
+				Instants    int64 `json:"instants"`
+				Counters    int64 `json:"counters"`
+				CausalEdges int64 `json:"causal_edges"`
+			} `json:"drops"`
+		}
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return nil, drops, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if len(raw.Ph) != 1 {
+			return nil, drops, fmt.Errorf("trace: line %d: bad phase %q", lineNo, raw.Ph)
+		}
+		if raw.Ph[0] == 'M' {
+			if raw.Drops != nil {
+				drops = DropStats{
+					Spans:       raw.Drops.Spans,
+					Instants:    raw.Drops.Instants,
+					Counters:    raw.Drops.Counters,
+					CausalEdges: raw.Drops.CausalEdges,
+				}
+			}
+			continue
+		}
+		ev := Event{Ph: raw.Ph[0], Who: raw.Who, Name: raw.Name, Ts: raw.Ts, Dur: raw.Dur}
+		if len(raw.Attrs) > 0 {
+			ev.Attrs = parseAttrs(raw.Attrs)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, drops, fmt.Errorf("trace: %w", err)
+	}
+	return events, drops, nil
+}
+
+// ReadJSONLFile reads the JSONL trace at path.
+func ReadJSONLFile(path string) ([]Event, DropStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, DropStats{}, err
+	}
+	defer f.Close()
+	events, drops, err := ReadJSONL(f)
+	if err != nil {
+		return nil, drops, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, drops, nil
+}
+
+// parseAttrs reconstructs typed attributes from raw JSON values. Map order is
+// not record order; keys are sorted so re-parsing is deterministic (analysis
+// never depends on attribute position).
+func parseAttrs(raw map[string]json.RawMessage) []Attr {
+	keys := make([]string, 0, len(raw))
+	for k := range raw {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]Attr, 0, len(keys))
+	for _, k := range keys {
+		v := raw[k]
+		var s string
+		if json.Unmarshal(v, &s) == nil {
+			attrs = append(attrs, Str(k, s))
+			continue
+		}
+		var b bool
+		if json.Unmarshal(v, &b) == nil {
+			attrs = append(attrs, Bool(k, b))
+			continue
+		}
+		var n json.Number
+		if json.Unmarshal(v, &n) == nil {
+			if i, err := n.Int64(); err == nil {
+				attrs = append(attrs, I64(k, i))
+			} else if f, err := n.Float64(); err == nil {
+				attrs = append(attrs, F64(k, f))
+			}
+		}
+	}
+	return attrs
+}

@@ -14,6 +14,8 @@
 // by a clock callback so the package stays dependency-free.
 package trace
 
+import "fmt"
+
 // attrKind discriminates the payload of an Attr without boxing values in an
 // interface (which would allocate even when the tracer is nil).
 type attrKind uint8
@@ -52,6 +54,32 @@ func Bool(key string, val bool) Attr {
 	return a
 }
 
+// Ref identifies one event as a node in the causal DAG. Refs are handed out
+// by Tracer.NewRef and attached to events with Self; a later event names the
+// event that enabled it with Cause. RefNone (zero) means "no ref": a nil
+// tracer hands out RefNone, and Self/Cause attrs carrying RefNone are
+// dropped at record time, so causal plumbing is free when tracing is off.
+type Ref int64
+
+// RefNone is the zero Ref: no causal identity.
+const RefNone Ref = 0
+
+// Reserved attribute keys for causal edges. Instrumentation must use the
+// Self and Cause constructors rather than spelling these strings (the
+// tracekeys analyzer enforces this); analysis tools key on them.
+const (
+	KeySelf  = "causal.self"
+	KeyCause = "causal.cause"
+)
+
+// Self marks the event as causal node r. One event carries at most one Self.
+func Self(r Ref) Attr { return Attr{Key: KeySelf, kind: attrInt, num: int64(r)} }
+
+// Cause records that the event was enabled by node r. An event may carry
+// several Cause attrs (several incoming DAG edges); analysis picks the
+// latest-completing one for the critical path.
+func Cause(r Ref) Attr { return Attr{Key: KeyCause, kind: attrInt, num: int64(r)} }
+
 // Value returns the attribute's payload as an any (exported for tests and
 // the JSON exporters; boxing here is off the recording path).
 func (a Attr) Value() any {
@@ -84,13 +112,28 @@ type Event struct {
 	Attrs []Attr
 }
 
+// DropStats breaks ring-buffer overflow down by event category. CausalEdges
+// counts dropped events that carried causal attributes (Self or Cause): a
+// non-zero value means the event DAG has holes, and internal/causal refuses
+// to analyze such a trace.
+type DropStats struct {
+	Spans       int64
+	Instants    int64
+	Counters    int64
+	CausalEdges int64
+}
+
+// Total returns the number of dropped events across all phase categories.
+func (d DropStats) Total() int64 { return d.Spans + d.Instants + d.Counters }
+
 // Tracer records events into a bounded buffer. The zero value is not usable;
 // create tracers with New. A nil *Tracer is valid and records nothing.
 type Tracer struct {
 	clock   func() int64
 	max     int
 	events  []Event
-	dropped int64
+	dropped DropStats
+	lastRef Ref
 }
 
 // DefaultMaxEvents bounds a tracer when the caller does not choose a limit.
@@ -123,7 +166,40 @@ func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
 	}
+	return t.dropped.Total()
+}
+
+// DropStats returns the per-category drop counts.
+func (t *Tracer) DropStats() DropStats {
+	if t == nil {
+		return DropStats{}
+	}
 	return t.dropped
+}
+
+// LossWarning describes buffer overflow, or returns "" for a lossless trace.
+// Exporters print it to stderr so a lossy capture never passes silently.
+func (t *Tracer) LossWarning() string {
+	if t == nil || t.dropped.Total() == 0 {
+		return ""
+	}
+	d := t.dropped
+	msg := fmt.Sprintf("trace: buffer full, dropped %d events (%d spans, %d instants, %d counters)",
+		d.Total(), d.Spans, d.Instants, d.Counters)
+	if d.CausalEdges > 0 {
+		msg += fmt.Sprintf("; %d carried causal edges — the event DAG is incomplete and causal analysis will refuse this trace", d.CausalEdges)
+	}
+	return msg
+}
+
+// NewRef allocates a fresh causal node id. A nil tracer returns RefNone, so
+// instrumentation can allocate refs unconditionally.
+func (t *Tracer) NewRef() Ref {
+	if t == nil {
+		return RefNone
+	}
+	t.lastRef++
+	return t.lastRef
 }
 
 // Events returns the buffered events in record order. The slice is shared;
@@ -141,6 +217,47 @@ func (t *Tracer) Instant(who, name string, attrs ...Attr) {
 		return
 	}
 	t.record(PhaseInstant, who, name, t.clock(), 0, attrs)
+}
+
+// InstantR is Instant plus a fresh Self ref on the event, returned so the
+// caller can thread it as a later event's Cause. Nil tracers return RefNone.
+func (t *Tracer) InstantR(who, name string, attrs ...Attr) Ref {
+	if t == nil {
+		return RefNone
+	}
+	r := t.NewRef()
+	a := append(cloneAttrs(attrs), Self(r))
+	t.recordOwned(PhaseInstant, who, name, t.clock(), 0, a)
+	return r
+}
+
+// CompleteSelf is Complete with a caller-allocated Self ref (from NewRef),
+// for spans whose node id must be known before the span ends — e.g. an MPI
+// call span whose ref is threaded into work requests posted mid-call.
+// Passing RefNone records the span without a causal identity.
+func (t *Tracer) CompleteSelf(who, name string, self Ref, start, end int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	a := append(cloneAttrs(attrs), Self(self))
+	t.recordOwned(PhaseSpan, who, name, start, end-start, a)
+}
+
+// CompleteR is Complete plus a fresh Self ref on the span.
+func (t *Tracer) CompleteR(who, name string, start, end int64, attrs ...Attr) Ref {
+	if t == nil {
+		return RefNone
+	}
+	if end < start {
+		end = start
+	}
+	r := t.NewRef()
+	a := append(cloneAttrs(attrs), Self(r))
+	t.recordOwned(PhaseSpan, who, name, start, end-start, a)
+	return r
 }
 
 // Counter records a counter sample (rendered as a stacked chart track by
@@ -202,14 +319,76 @@ func (t *Tracer) record(ph byte, who, name string, ts, dur int64, attrs []Attr) 
 	t.recordOwned(ph, who, name, ts, dur, cloneAttrs(attrs))
 }
 
-// recordOwned buffers one event taking ownership of attrs.
+// recordOwned buffers one event taking ownership of attrs. RefNone-valued
+// causal attrs (from plumbing that ran before tracing was enabled) are
+// stripped in place so the DAG never contains edges to node 0.
 func (t *Tracer) recordOwned(ph byte, who, name string, ts, dur int64, attrs []Attr) {
+	attrs = stripNoneRefs(attrs)
 	if len(t.events) >= t.max {
-		t.dropped++
+		switch ph {
+		case PhaseSpan:
+			t.dropped.Spans++
+		case PhaseInstant:
+			t.dropped.Instants++
+		default:
+			t.dropped.Counters++
+		}
+		if hasCausalAttr(attrs) {
+			t.dropped.CausalEdges++
+		}
 		return
 	}
 	t.events = append(t.events, Event{Ph: ph, Who: who, Name: name, Ts: ts, Dur: dur, Attrs: attrs})
 }
+
+// stripNoneRefs removes causal attrs whose ref is RefNone, compacting the
+// owned slice in place (no allocation).
+func stripNoneRefs(attrs []Attr) []Attr {
+	kept := attrs[:0]
+	for _, a := range attrs {
+		if a.num == int64(RefNone) && (a.Key == KeySelf || a.Key == KeyCause) {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return kept
+}
+
+// hasCausalAttr reports whether the event participates in the causal DAG.
+func hasCausalAttr(attrs []Attr) bool {
+	for _, a := range attrs {
+		if a.Key == KeySelf || a.Key == KeyCause {
+			return true
+		}
+	}
+	return false
+}
+
+// SelfRef returns the event's causal node id, or RefNone.
+func (e *Event) SelfRef() Ref {
+	for _, a := range e.Attrs {
+		if a.Key == KeySelf {
+			return Ref(a.num)
+		}
+	}
+	return RefNone
+}
+
+// CauseRefs appends the event's incoming causal edges to buf and returns it.
+func (e *Event) CauseRefs(buf []Ref) []Ref {
+	for _, a := range e.Attrs {
+		if a.Key == KeyCause {
+			buf = append(buf, Ref(a.num))
+		}
+	}
+	return buf
+}
+
+// End returns the event's end time (start for instants and counters).
+func (e *Event) End() int64 { return e.Ts + e.Dur }
 
 // cloneAttrs copies a variadic attribute slice. It only reads its argument,
 // which lets the compiler keep call-site backing arrays on the stack.

@@ -14,6 +14,7 @@ package verbs
 import (
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Op is a work-request operation code.
@@ -53,14 +54,23 @@ type WR struct {
 	Len       int
 	RemoteKey mem.RKey
 	RemoteOff int
+
+	// Cause names the trace event that motivated the posting (an MPI-layer
+	// span, a registration, a control-message arrival); the NIC models
+	// thread it through their engines so the causal DAG crosses the
+	// host/device boundary. RefNone when tracing is off.
+	Cause trace.Ref
 }
 
-// Completion is a completion-queue entry.
+// Completion is a completion-queue entry. Cause is the causal ref of the
+// device event that produced the completion (final ACK processing, last
+// placed packet), for the layer above to chain from.
 type Completion struct {
-	WRID uint64
-	Op   Op
-	Len  int
-	At   sim.Time
+	WRID  uint64
+	Op    Op
+	Len   int
+	At    sim.Time
+	Cause trace.Ref
 }
 
 // CQ is a completion queue. Poll models the host busy-polling it: the
@@ -98,10 +108,11 @@ func (c *CQ) Len() int { return c.q.Len() }
 // ("we check completion of the RDMA write operations by polling the target
 // buffer") consumes these.
 type Placement struct {
-	Key mem.RKey
-	Off int
-	Len int
-	At  sim.Time
+	Key   mem.RKey
+	Off   int
+	Len   int
+	At    sim.Time
+	Cause trace.Ref
 }
 
 // QP is one endpoint of a connected queue pair. All posting calls charge
