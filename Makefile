@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck breakdowncheck tracetoolcheck clean
+.PHONY: all build test vet lint lintselftest race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck breakdowncheck tracetoolcheck clean
 
 all: verify
 
@@ -18,9 +18,18 @@ vet:
 
 # simlint mechanically enforces the determinism contract (virtual time only,
 # no map-order dependence, no ad-hoc concurrency, unit-carrying durations,
-# constant trace/metric names). See docs/static-analysis.md.
+# constant trace/metric names) plus the interprocedural shard-safety and
+# zero-alloc contracts (sharedstate, noalloc, seedrand) and reports stale
+# allow directives. See docs/static-analysis.md.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# lintselftest runs the analyzer toolchain's own tests — the testdata-driven
+# analyzer suites, the runner's stale-directive test and the allow-directive
+# budget — under the race detector (analyzers must be safe to parallelize
+# per package later; -race keeps them honest now).
+lintselftest:
+	$(GO) test -race ./internal/lint/...
 
 # The simulation engine, the metrics registry, and the MPI layer are
 # single-threaded by design; the race detector proves the tests don't
@@ -34,7 +43,7 @@ race:
 traceguard:
 	$(GO) test -run TestTraceOverhead ./internal/trace/...
 
-verify: build test vet lint race traceguard calibrate
+verify: build test vet lint lintselftest race traceguard calibrate
 
 figures:
 	$(GO) run ./cmd/figures

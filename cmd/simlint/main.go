@@ -1,21 +1,26 @@
-// Command simlint enforces the simulator's determinism contract with the
-// analyzer suite under internal/lint (see docs/static-analysis.md).
+// Command simlint enforces the simulator's determinism, shard-safety and
+// zero-alloc contracts with the analyzer suite under internal/lint (see
+// docs/static-analysis.md).
 //
 // Direct mode (the usual way, what `make lint` runs):
 //
 //	simlint [-tests=false] [-vet] [packages]
 //
-// analyzes the named packages (default ./...) and exits 2 if any
-// diagnostic is reported. -vet additionally runs the standard `go vet`
-// suite over the same patterns first.
+// analyzes the named packages (default ./...) through internal/lint/runner
+// — dependency-ordered so analyzer facts flow across packages — and exits
+// 2 if any diagnostic is reported, stale //simlint:allow directives
+// included. -vet additionally runs the standard `go vet` suite over the
+// same patterns first.
 //
 // Vettool mode: when invoked with a single *.cfg argument, simlint speaks
 // the cmd/go unitchecker protocol, so it can also run as
 //
 //	go vet -vettool=$(go env GOPATH)/bin/simlint ./...
 //
-// In that mode cmd/go supplies the export data and file lists; scoping is
-// identical to direct mode.
+// In that mode cmd/go supplies the export data and file lists but runs one
+// process per package, so facts cannot flow: the fact-dependent analyzers
+// are reduced (no noalloc, no cross-package sharedstate writes, no stale
+// reporting). Direct mode is the gate; vettool mode is a convenience.
 package main
 
 import (
@@ -35,45 +40,14 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
-	"repro/internal/lint/detclock"
-	"repro/internal/lint/directivecheck"
 	"repro/internal/lint/loader"
-	"repro/internal/lint/maporder"
-	"repro/internal/lint/nogoroutine"
-	"repro/internal/lint/scope"
-	"repro/internal/lint/timeunits"
-	"repro/internal/lint/tracekeys"
+	"repro/internal/lint/runner"
 )
-
-// All is the full suite, in reporting order.
-var All = []*analysis.Analyzer{
-	detclock.Analyzer,
-	maporder.Analyzer,
-	nogoroutine.Analyzer,
-	timeunits.Analyzer,
-	tracekeys.Analyzer,
-	directivecheck.Analyzer,
-}
-
-// analyzersFor applies the scoping rules from internal/lint/scope.
-func analyzersFor(importPath string) []*analysis.Analyzer {
-	var as []*analysis.Analyzer
-	if scope.InSimDomain(importPath) {
-		as = append(as, detclock.Analyzer, maporder.Analyzer, nogoroutine.Analyzer, timeunits.Analyzer)
-	}
-	if scope.WantsTraceKeys(importPath) {
-		as = append(as, tracekeys.Analyzer)
-	}
-	if scope.WantsDirectiveCheck(importPath) {
-		as = append(as, directivecheck.Analyzer)
-	}
-	return as
-}
 
 func main() {
 	// Tool-ID handshake used by cmd/go before dispatching unit checks.
 	if len(os.Args) == 2 && (os.Args[1] == "-V=full" || os.Args[1] == "-V") {
-		fmt.Printf("%s version simlint-1.0\n", os.Args[0])
+		fmt.Printf("%s version simlint-2.0\n", os.Args[0])
 		return
 	}
 	// cmd/go asks the tool which flags it accepts; the suite has none that
@@ -91,7 +65,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [-tests=false] [-vet] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Analyzers (see docs/static-analysis.md):\n")
-		for _, a := range All {
+		for _, a := range runner.All {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
 		flag.PrintDefaults()
@@ -111,18 +85,12 @@ func main() {
 		}
 	}
 
-	pkgs, err := loader.Load(loader.Config{Tests: *tests}, patterns...)
+	res, err := runner.Run(runner.Options{Tests: *tests, Patterns: patterns})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		os.Exit(1)
 	}
-	var diags []analysis.Diagnostic
-	var fset *token.FileSet
-	for _, p := range pkgs {
-		fset = p.Fset
-		diags = append(diags, runAnalyzers(analyzersFor(p.ImportPath), p.Fset, p.Files, p.Types, p.TypesInfo)...)
-	}
-	if print(fset, diags) {
+	if print(res.Fset, res.Diags) {
 		status = 2
 	}
 	os.Exit(status)
@@ -199,7 +167,8 @@ func unitcheck(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// cmd/go expects the facts file regardless; the suite carries no facts.
+	// cmd/go expects the facts file regardless; simlint facts flow only
+	// through the direct mode's in-process store, never through vetx files.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte("simlint-no-facts\n"), 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
@@ -209,7 +178,7 @@ func unitcheck(cfgFile string) int {
 	if cfg.VetxOnly {
 		return 0
 	}
-	as := analyzersFor(cfg.ImportPath)
+	as := runner.AnalyzersFor(cfg.ImportPath, false)
 	if len(as) == 0 {
 		return 0
 	}

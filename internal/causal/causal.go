@@ -226,8 +226,20 @@ func (d *DAG) Blame(op trace.Ref) (*Report, error) {
 	}
 	opNode := path[len(path)-1]
 	rep := &Report{Op: opNode, Start: opNode.Start(), End: opNode.End(), Path: path}
+	tileWindow(rep, path[:len(path)-1])
+	return rep, nil
+}
+
+// tileWindow tiles the upstream critical path over the report window,
+// attributing every picosecond of [Start, End) to exactly one bucket. It is
+// Blame's inner loop, split out so the per-operation attribution cost is
+// pure arithmetic over the prebuilt path: attribution of arbitrarily long
+// paths allocates nothing beyond the Report that Blame already built.
+//
+//simlint:noalloc
+func tileWindow(rep *Report, path []*Node) {
 	t := rep.Start
-	for _, n := range path[:len(path)-1] {
+	for _, n := range path {
 		if t >= rep.End {
 			break
 		}
@@ -257,5 +269,4 @@ func (d *DAG) Blame(op trace.Ref) (*Report, error) {
 	if t < rep.End {
 		rep.Buckets[Host] += rep.End - t
 	}
-	return rep, nil
 }

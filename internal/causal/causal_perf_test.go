@@ -1,0 +1,46 @@
+package causal
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTileWindowZeroAlloc is the dynamic twin of the //simlint:noalloc
+// annotation on tileWindow, Blame's inner loop: attributing a critical path
+// over an operation window is pure arithmetic over the prebuilt path and
+// must not allocate, however long the path. Blame itself allocates exactly
+// the Report and the path slice; the per-segment work stays clean.
+func TestTileWindowZeroAlloc(t *testing.T) {
+	// A synthetic upstream path covering all gap/overlap cases: a host span,
+	// an idle gap in front of a wire hop (Switch time), the wire hop itself,
+	// a NIC span, and a tail the loop must attribute to Host.
+	evs := []trace.Event{
+		{Ph: 'X', Who: "rank0", Name: "mpi.send", Ts: 0, Dur: 100},
+		{Ph: 'X', Who: "link.perf.up.0", Name: "tx", Ts: 250, Dur: 200},
+		{Ph: 'X', Who: "trunk.perf.l0.s0.up", Name: "tx", Ts: 450, Dur: 200},
+		{Ph: 'X', Who: "rnic0.tx", Name: "tx-seg", Ts: 700, Dur: 100},
+	}
+	path := make([]*Node, len(evs))
+	for i := range evs {
+		path[i] = &Node{Ref: trace.Ref(i + 1), Ev: &evs[i]}
+	}
+	rep := &Report{Start: 0, End: 1000}
+	allocs := testing.AllocsPerRun(1000, func() {
+		rep.Buckets = [NumBuckets]int64{}
+		tileWindow(rep, path)
+	})
+	if allocs != 0 {
+		t.Fatalf("tileWindow allocates %.1f objects/op, want 0", allocs)
+	}
+	var sum int64
+	for _, b := range rep.Buckets {
+		sum += b
+	}
+	if sum != rep.Total() {
+		t.Fatalf("buckets sum to %d, want the full window %d", sum, rep.Total())
+	}
+	if rep.Buckets[Wire] != 400 || rep.Buckets[Switch] != 150 {
+		t.Fatalf("wire/switch attribution = %d/%d ps, want 400/150", rep.Buckets[Wire], rep.Buckets[Switch])
+	}
+}

@@ -98,6 +98,8 @@ type line struct {
 // stall pushes the line's next-free time out to `until`, without accounting
 // any busy time or frames: the link is unavailable (down, or occupied by
 // cross-traffic the simulation does not model frame-by-frame).
+//
+//simlint:noalloc
 func (l *line) stall(until sim.Time) {
 	if until > l.nextFree {
 		l.nextFree = until
@@ -107,6 +109,8 @@ func (l *line) stall(until sim.Time) {
 // txTime returns the serialization time of `bytes` on this line at the
 // configured rate, honoring a degraded-rate factor when one is set. The
 // slow == 0 path is byte-for-byte the pre-fault-injection arithmetic.
+//
+//simlint:noalloc
 func (l *line) txTime(rate sim.Rate, bytes int) sim.Time {
 	if l.slow != 0 {
 		rate = sim.Rate(float64(rate) * l.slow)
@@ -116,6 +120,8 @@ func (l *line) txTime(rate sim.Rate, bytes int) sim.Time {
 
 // reserve books the line for dur starting no earlier than earliest and
 // returns the actual (start, end) of the transmission.
+//
+//simlint:noalloc
 func (l *line) reserve(earliest sim.Time, dur sim.Time, bytes int) (start, end sim.Time) {
 	start = earliest
 	if l.nextFree > start {
@@ -161,6 +167,12 @@ type Network struct {
 	delivered int64
 	dropped   int64
 
+	// deliverFn is the long-lived delivery callback, bound once at
+	// construction and shared by every frame: Send schedules delivery with
+	// Engine.AtArg(deliverAt, n.deliverFn, f) instead of a capturing closure,
+	// so the per-frame schedule→deliver cycle allocates nothing.
+	deliverFn func(any)
+
 	// topo is nil for the single-switch model; see topology.go.
 	topo *topology
 
@@ -178,6 +190,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		cfg.HeaderBytes = 64
 	}
 	n := &Network{eng: eng, cfg: cfg}
+	n.deliverFn = n.deliver
 	reg := eng.Metrics()
 	n.cFrames = reg.Counter("fabric.frames_sent")
 	n.cWireBytes = reg.Counter("fabric.wire_bytes")
@@ -260,6 +273,8 @@ func (n *Network) TxTime(bytes int) sim.Time {
 // sender's link becomes free (the end of serialization at the source); the
 // frame is delivered to the destination endpoint by a scheduled event. Send
 // must be called in engine context and never blocks.
+//
+//simlint:noalloc
 func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	n := p.net
 	if f.Src != p.id {
@@ -292,7 +307,7 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 		p.up.lastRef = f.Cause
 	}
 
-	if n.DropFn != nil && n.DropFn(f) {
+	if n.DropFn != nil && n.DropFn(f) { //simlint:allow noalloc fault-injection hook; its allocations belong to the scenario, and the nil fast path is branch-only
 		n.dropped++
 		n.cDropped.Inc()
 		return txEnd
@@ -328,12 +343,23 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 		dst.dn.lastRef = f.Cause
 	}
 	deliverAt := egEnd + n.cfg.PropDelay
-	n.eng.At(deliverAt, func() {
-		n.delivered++
-		n.cDelivered.Inc()
-		dst.ep.Deliver(f)
-	})
+	// AtArg instead of At(func(){...}): the closure would capture n and f and
+	// allocate per frame; the bound deliverFn plus the *Frame argument (a
+	// pointer, so converting it to any allocates nothing) keeps the per-frame
+	// path clean. The event node itself is recycled by the engine on fire.
+	n.eng.AtArg(deliverAt, n.deliverFn, f)
 	return txEnd
+}
+
+// deliver hands a frame to its destination endpoint; it is the single
+// long-lived AtArg callback shared by every frame (see Network.deliverFn).
+//
+//simlint:noalloc
+func (n *Network) deliver(v any) {
+	f := v.(*Frame)
+	n.delivered++
+	n.cDelivered.Inc()
+	n.ports[f.Dst].ep.Deliver(f) //simlint:allow noalloc dynamic dispatch into the endpoint; its allocations belong to the NIC model, not the fabric
 }
 
 // PublishLinkMetrics freezes per-port link occupancy into gauges:

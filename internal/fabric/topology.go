@@ -244,6 +244,8 @@ func (n *Network) MaxTrunkUtilBP() int64 {
 // is bit-identical across runs and across -j workers, while distinct flows
 // between the same host pair still spread over the spines (the NIC models
 // stamp Frame.Flow with the sending QP number).
+//
+//simlint:noalloc
 func ecmpSpine(src, dst NodeID, flow, spines int) int {
 	x := uint64(uint32(src))<<40 ^ uint64(uint32(dst))<<20 ^ uint64(uint32(flow))
 	x ^= x >> 30
@@ -258,6 +260,8 @@ func ecmpSpine(src, dst NodeID, flow, spines int) int {
 // given the (start, end) of serialization on the incoming line: cut-through
 // forwards once the header has arrived, store-and-forward waits for the
 // tail; both then pay propagation and the forwarding decision.
+//
+//simlint:noalloc
 func (n *Network) forwardReady(l *line, rate sim.Rate, start, end sim.Time, wire int) sim.Time {
 	if n.cfg.CutThrough {
 		hdr := l.txTime(rate, min(wire, n.cfg.HeaderBytes))
@@ -272,6 +276,8 @@ func (n *Network) forwardReady(l *line, rate sim.Rate, start, end sim.Time, wire
 // begin serializing onto the destination port. Same-leaf frames pass
 // through untouched — the arithmetic is then byte-identical to the
 // single-switch model.
+//
+//simlint:noalloc
 func (n *Network) routeTrunks(f *Frame, ready sim.Time, wire int) sim.Time {
 	t := n.topo
 	srcLeaf, dstLeaf := t.leafOf(f.Src), t.leafOf(f.Dst)

@@ -80,6 +80,8 @@ func (d Duration) T() sim.Time { return sim.Time(d) }
 
 // durationUnits maps suffix to picoseconds, longest suffix first so "ms"
 // wins over "s".
+//
+//simlint:allow sharedstate read-only parse table; ranged over, never written
 var durationUnits = []struct {
 	suffix string
 	unit   sim.Time

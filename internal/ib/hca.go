@@ -62,7 +62,7 @@ type Config struct {
 // lower than the NetEffect card's (the paper's both-way results: iWARP
 // ~1950 MB/s vs IB ~89% of 2 GB/s).
 func DefaultConfig() Config {
-	pcie := pci.PCIeX8
+	pcie := pci.PCIeX8()
 	pcie.SharedRate = 1820 * sim.MBps
 	return Config{
 		MTU:          2048,

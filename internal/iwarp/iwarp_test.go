@@ -46,7 +46,7 @@ func newRig(t *testing.T) *rig {
 func (r *rig) close() { r.eng.Close() }
 
 func TestMPAFraming(t *testing.T) {
-	f := DefaultFraming
+	f := DefaultFraming()
 	// Tiny tagged payload: 2 + 14 + 1 + 4 = 21 bytes, one marker -> 25.
 	if got := f.FPDUBytes(TaggedHeader, 1); got != 25 {
 		t.Errorf("FPDUBytes(tagged,1) = %d, want 25", got)

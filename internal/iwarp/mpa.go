@@ -45,8 +45,10 @@ type Framing struct {
 	CRC bool
 }
 
-// DefaultFraming is the spec-compliant configuration.
-var DefaultFraming = Framing{Markers: true, CRC: true}
+// DefaultFraming returns the spec-compliant configuration: markers and CRC
+// on, as the MPA standard requires. A function rather than a package var so
+// no world can mutate another's framing (the sharedstate contract).
+func DefaultFraming() Framing { return Framing{Markers: true, CRC: true} }
 
 // FPDUBytes returns the number of TCP payload bytes one FPDU occupies for a
 // DDP segment with the given header size and ULP payload.

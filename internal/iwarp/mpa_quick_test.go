@@ -53,10 +53,10 @@ func TestPropertyMaxPayloadTight(t *testing.T) {
 // TestPropertyOverheadBounded: spec framing overhead stays under 3% at
 // jumbo MSS and under 10% even at 1500-byte MSS.
 func TestPropertyOverheadBounded(t *testing.T) {
-	if ov := DefaultFraming.Overhead(8960); ov > 0.03 {
+	if ov := DefaultFraming().Overhead(8960); ov > 0.03 {
 		t.Errorf("jumbo overhead %.3f > 3%%", ov)
 	}
-	if ov := DefaultFraming.Overhead(1460); ov > 0.10 {
+	if ov := DefaultFraming().Overhead(1460); ov > 0.10 {
 		t.Errorf("1500-MTU overhead %.3f > 10%%", ov)
 	}
 }

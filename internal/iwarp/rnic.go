@@ -63,7 +63,7 @@ type Config struct {
 
 // DefaultConfig returns the NE010-like model parameters.
 func DefaultConfig() Config {
-	bridge := pci.PCIX133
+	bridge := pci.PCIX133()
 	bridge.HalfDuplex = false
 	bridge.MaxPayload = 192
 	return Config{
@@ -79,13 +79,13 @@ func DefaultConfig() Config {
 		MSS:           8960,
 		TCPWindow:     256 << 10,
 		TCPRTO:        sim.Millisecond,
-		Framing:       DefaultFraming,
+		Framing:       DefaultFraming(),
 		RegCost: mem.RegCost{
 			Base:      sim.Micros(8),
 			PerPage:   sim.Micros(4.5),
 			DeregBase: sim.Micros(2),
 		},
-		PCIe:   pci.PCIeX8,
+		PCIe:   pci.PCIeX8(),
 		Bridge: bridge,
 	}
 }

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A CallSite is one statically-resolved call inside a function body.
+type CallSite struct {
+	Pos    token.Pos
+	Callee *types.Func // the (origin, for generics) callee
+}
+
+// A DynCall is a call whose callee cannot be resolved statically: a call
+// through a function value, or a dynamic dispatch through an interface
+// method. Interprocedural analyzers must treat these conservatively.
+type DynCall struct {
+	Pos       token.Pos
+	Desc      string // "function value f", "interface method Deliver"
+	Interface bool
+}
+
+// A FuncNode is one declared function with its outgoing edges.
+type FuncNode struct {
+	Fn      *types.Func
+	Decl    *ast.FuncDecl
+	Calls   []CallSite
+	Dynamic []DynCall
+}
+
+// A CallGraph is the static intra-package call graph of one Pass: every
+// declared function (methods included), with edges to every callee the type
+// checker can name — including callees in other packages, which appear as
+// *types.Func reconstructed from export data and carry no *FuncNode here.
+// Cross-package analysis resolves those through facts.
+type CallGraph struct {
+	// Funcs maps each declared function object to its node, and is the
+	// deterministic iteration companion of Nodes.
+	Funcs map[*types.Func]*FuncNode
+	// Nodes lists the nodes in source order.
+	Nodes []*FuncNode
+}
+
+// BuildCallGraph walks every function declaration in the pass and records
+// its statically-resolved callees and its dynamic call sites.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	return BuildCallGraphWith(pass, nil)
+}
+
+// BuildCallGraphWith is BuildCallGraph with a subtree filter: when skip
+// returns true for a node, no call edges are collected from that subtree.
+// Analyzers whose contract excludes certain paths (noalloc's panic and
+// tracing exemptions) install a filter; a nil skip collects everything.
+func BuildCallGraphWith(pass *Pass, skip func(ast.Node) bool) *CallGraph {
+	g := &CallGraph{Funcs: make(map[*types.Func]*FuncNode)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Fn: obj, Decl: fd}
+			collectCalls(pass, fd.Body, node, skip)
+			g.Funcs[obj] = node
+			g.Nodes = append(g.Nodes, node)
+		}
+	}
+	return g
+}
+
+// collectCalls records every call in the subtree rooted at root onto node.
+// Calls inside nested function literals are attributed to the enclosing
+// declaration: if the literal runs, its callees run on the same path.
+func collectCalls(pass *Pass, root ast.Node, node *FuncNode, skip func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n != nil && skip != nil && skip(n) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, dyn := ResolveCallee(pass, call); fn != nil {
+			node.Calls = append(node.Calls, CallSite{Pos: call.Pos(), Callee: fn})
+		} else if dyn != nil {
+			node.Dynamic = append(node.Dynamic, *dyn)
+		}
+		return true
+	})
+}
+
+// ResolveCallee resolves a call expression to its static callee. It returns
+// (fn, nil) for a statically-known function or method, (nil, dyn) for a
+// dynamic call, and (nil, nil) for non-function calls (conversions and
+// builtins), which interprocedural analyzers inspect separately.
+func ResolveCallee(pass *Pass, call *ast.CallExpr) (*types.Func, *DynCall) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Func:
+			return origin(obj), nil
+		case *types.Var:
+			return nil, &DynCall{Pos: call.Pos(), Desc: "function value " + fun.Name}
+		case *types.Builtin, *types.TypeName:
+			return nil, nil
+		case nil:
+			// A locally-defined func-typed object appears in Defs, not Uses,
+			// only at its declaration; a use that resolves to nothing is a
+			// conversion to an unexported type or similar — not a call edge.
+			return nil, nil
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, &DynCall{Pos: call.Pos(), Desc: "function-typed field " + fun.Sel.Name}
+			}
+			if types.IsInterface(sel.Recv()) || isInterfaceRecv(fn) {
+				return nil, &DynCall{Pos: call.Pos(), Desc: "interface method " + fun.Sel.Name, Interface: true}
+			}
+			return origin(fn), nil
+		}
+		// Package-qualified call (pkg.Fn) or conversion (pkg.Type(x)).
+		switch obj := pass.TypesInfo.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return origin(obj), nil
+		case *types.Var:
+			return nil, &DynCall{Pos: call.Pos(), Desc: "function value " + fun.Sel.Name}
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is walked by the caller's
+		// collection pass already, so the call itself adds no edge.
+		return nil, nil
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation: resolve through the index expression's
+		// identifier.
+		if id := instantiatedIdent(fun); id != nil {
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				return origin(fn), nil
+			}
+		}
+		return nil, &DynCall{Pos: call.Pos(), Desc: "indexed call"}
+	}
+	// Anything else (call of a call's result, map index, ...) is dynamic.
+	if _, isConv := pass.TypesInfo.Types[call.Fun]; isConv && pass.TypesInfo.Types[call.Fun].IsType() {
+		return nil, nil
+	}
+	return nil, &DynCall{Pos: call.Pos(), Desc: "computed function value"}
+}
+
+// origin maps a generic instantiation back to its declared function, so call
+// edges land on the object the call graph indexes.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+func isInterfaceRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+func instantiatedIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		return baseIdent(e.X)
+	case *ast.IndexListExpr:
+		return baseIdent(e.X)
+	}
+	return nil
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}

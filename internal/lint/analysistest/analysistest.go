@@ -51,26 +51,47 @@ func TestData() string {
 
 // Run analyzes each named testdata package with a and reports any mismatch
 // between diagnostics and // want expectations as test errors.
+//
+// Before a package is checked, its local (testdata-sibling) imports are
+// analyzed in dependency order against a shared fact store, mirroring the
+// production runner, so interprocedural analyzers see cross-package facts.
+// Diagnostics from those dependency passes are discarded; list a package in
+// paths to assert on its diagnostics.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	ld := &tdLoader{root: filepath.Join(testdata, "src"), fset: token.NewFileSet(), pkgs: map[string]*tdPkg{}}
-	for _, path := range paths {
+	facts := analysis.NewFactStore()
+	analyzed := map[string]bool{}
+	var analyze func(path string, report func(analysis.Diagnostic)) *tdPkg
+	analyze = func(path string, report func(analysis.Diagnostic)) *tdPkg {
 		p, err := ld.load(path)
 		if err != nil {
 			t.Fatalf("loading testdata package %s: %v", path, err)
 		}
-		var got []analysis.Diagnostic
+		for _, dep := range p.localImports {
+			if !analyzed[dep] {
+				analyzed[dep] = true
+				analyze(dep, func(analysis.Diagnostic) {})
+			}
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      ld.fset,
 			Files:     p.files,
 			Pkg:       p.pkg,
 			TypesInfo: p.info,
-			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+			Report:    report,
+			Facts:     facts,
 		}
 		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("analyzer %s on %s: %v", a.Name, path, err)
 		}
+		return p
+	}
+	for _, path := range paths {
+		var got []analysis.Diagnostic
+		p := analyze(path, func(d analysis.Diagnostic) { got = append(got, d) })
+		analyzed[path] = true
 		checkWants(t, ld.fset, p.files, got)
 	}
 }
@@ -184,9 +205,10 @@ func cutQuoted(s string) (string, string, error) {
 
 // tdLoader type-checks testdata packages from source.
 type tdPkg struct {
-	pkg   *types.Package
-	files []*ast.File
-	info  *types.Info
+	pkg          *types.Package
+	files        []*ast.File
+	info         *types.Info
+	localImports []string // testdata-sibling imports, in first-seen order
 }
 
 type tdLoader struct {
@@ -230,14 +252,16 @@ func (l *tdLoader) load(path string) (*tdPkg, error) {
 	}
 
 	// Resolve external imports through the standard library's export data.
-	var external []string
+	var external, local []string
 	for _, f := range files {
 		for _, imp := range f.Imports {
 			p, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
 				continue
 			}
-			if !l.isLocal(p) {
+			if l.isLocal(p) {
+				local = append(local, p)
+			} else {
 				external = append(external, p)
 			}
 		}
@@ -272,7 +296,7 @@ func (l *tdLoader) load(path string) (*tdPkg, error) {
 	if err != nil {
 		return nil, err
 	}
-	tp := &tdPkg{pkg: pkg, files: files, info: info}
+	tp := &tdPkg{pkg: pkg, files: files, info: info, localImports: local}
 	l.pkgs[path] = tp
 	return tp, nil
 }

@@ -1,4 +1,4 @@
-// Package directivecheck validates //simlint:allow directives themselves.
+// Package directivecheck validates simlint directives themselves.
 //
 // An allow directive is an audited exception to the determinism contract,
 // so it must name the check it waives and carry a written justification:
@@ -6,24 +6,36 @@
 //	//simlint:allow maporder selects the minimum id; order cannot matter
 //
 // The validator flags bare directives (no check name), directives without
-// a reason, and directives citing an unknown check. It is intentionally
-// not suppressible: scope.CheckNames does not include it, so an
-// `//simlint:allow directive ...` comment is itself an unknown-check
-// diagnostic.
+// a reason, directives citing an unknown check, and "//simlint:" comments
+// whose verb is not one of scope.DirectiveVerbs (a typo like
+// //simlint:alow would otherwise silently suppress nothing). The noalloc
+// function directive is validated too: it takes no arguments and is only
+// meaningful inside the doc comment of a function declaration.
+//
+// The validator is intentionally not suppressible: scope.CheckNames does
+// not include it, so an `//simlint:allow directive ...` comment is itself
+// an unknown-check diagnostic.
+//
+// Stale directives — well-formed allows that no longer suppress anything —
+// are reported under this analyzer's name by the runner
+// (internal/lint/runner), which is the only component that sees the whole
+// suite's suppression activity.
 package directivecheck
 
 import (
 	"fmt"
+	"go/ast"
+	"go/token"
 	"strings"
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/scope"
 )
 
-// Analyzer flags malformed //simlint:allow directives.
+// Analyzer flags malformed //simlint: directives.
 var Analyzer = &analysis.Analyzer{
 	Name: "directive",
-	Doc:  "require //simlint:allow directives to name a known check and give a reason",
+	Doc:  "require simlint directives to be well-formed: a known verb, a known check, a written reason",
 	Run:  run,
 }
 
@@ -44,6 +56,44 @@ func run(pass *analysis.Pass) (any, error) {
 				report(d, "%s %s has no reason: justify the exception in the directive text", analysis.DirectivePrefix, d.Check)
 			}
 		}
+		docSpans := funcDocSpans(f)
+		for _, d := range analysis.RawDirectives(pass.Fset, f) {
+			switch d.Check {
+			case "allow":
+				// Validated above via the parsed form.
+			case "noalloc":
+				if d.Reason != "" {
+					report(d, "%s takes no arguments; it marks the function whose doc comment it appears in", analysis.NoallocPrefix)
+				} else if !inSpans(d.Pos, docSpans) {
+					report(d, "%s must appear in the doc comment of a function declaration", analysis.NoallocPrefix)
+				}
+			default:
+				report(d, "unknown simlint directive verb %q (known: %s)", d.Check, strings.Join(scope.DirectiveVerbs, ", "))
+			}
+		}
 	}
 	return nil, nil
+}
+
+type span struct{ lo, hi token.Pos }
+
+// funcDocSpans returns the position ranges of every function declaration's
+// doc comment in f.
+func funcDocSpans(f *ast.File) []span {
+	var spans []span
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			spans = append(spans, span{fd.Doc.Pos(), fd.Doc.End()})
+		}
+	}
+	return spans
+}
+
+func inSpans(pos token.Pos, spans []span) bool {
+	for _, s := range spans {
+		if pos >= s.lo && pos <= s.hi {
+			return true
+		}
+	}
+	return false
 }

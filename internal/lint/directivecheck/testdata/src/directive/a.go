@@ -16,3 +16,17 @@ func annotated(m map[string]int) int {
 	}
 	return n
 }
+
+func verbs() {
+	//simlint:alow maporder a typo in the verb suppresses nothing // want `unknown simlint directive verb "alow"`
+	_ = 0
+	//simlint:noalloc because it is hot // want `//simlint:noalloc takes no arguments`
+	_ = 1
+	//simlint:noalloc // want `//simlint:noalloc must appear in the doc comment of a function declaration`
+	_ = 2
+}
+
+// hot is pinned by a well-formed function directive: no diagnostic.
+//
+//simlint:noalloc
+func hot(x int) int { return x + 1 }

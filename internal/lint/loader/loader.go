@@ -37,6 +37,7 @@ import (
 type Package struct {
 	ImportPath string
 	Dir        string
+	Imports    []string // direct imports, as listed by the go command
 	Fset       *token.FileSet
 	Files      []*ast.File
 	Types      *types.Package
@@ -57,6 +58,8 @@ type listPkg struct {
 	GoFiles       []string
 	TestGoFiles   []string
 	XTestGoFiles  []string
+	Imports       []string
+	TestImports   []string
 	Error         *struct{ Err string }
 	DepOnly       bool
 	ForTest       string
@@ -111,11 +114,15 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 		exports[p.ImportPath] = p.Export
 	}
 
-	// Pass 2: the target packages and their sources.
-	targets, err := goList(cfg.Dir, append([]string{"-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,XTestGoFiles,Error"}, patterns...)...)
+	// Pass 2: the target packages and their sources. Targets are sorted
+	// into dependency order (imports before importers) so that analyzer
+	// facts exported while checking a package are available to every
+	// package that imports it.
+	targets, err := goList(cfg.Dir, append([]string{"-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,Error"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
+	targets = depOrder(targets, cfg.Tests)
 
 	fset := token.NewFileSet()
 	var out []*Package
@@ -145,6 +152,7 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 		out = append(out, &Package{
 			ImportPath: t.ImportPath,
 			Dir:        t.Dir,
+			Imports:    t.Imports,
 			Fset:       fset,
 			Files:      files,
 			Types:      pkg,
@@ -152,6 +160,41 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 		})
 	}
 	return out, nil
+}
+
+// depOrder topologically sorts the target packages so that every package
+// appears after all of its (test-)imports that are themselves targets.
+// Edges to packages outside the target set (stdlib) are ignored. The sort
+// is stable and deterministic: ties keep go list's alphabetical order.
+func depOrder(targets []listPkg, tests bool) []listPkg {
+	index := make(map[string]int, len(targets))
+	for i, t := range targets {
+		index[t.ImportPath] = i
+	}
+	state := make([]int, len(targets)) // 0 unvisited, 1 visiting, 2 done
+	out := make([]listPkg, 0, len(targets))
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return // visiting (an import cycle would fail go list anyway) or done
+		}
+		state[i] = 1
+		deps := targets[i].Imports
+		if tests {
+			deps = append(deps[:len(deps):len(deps)], targets[i].TestImports...)
+		}
+		for _, imp := range deps {
+			if j, ok := index[imp]; ok {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		out = append(out, targets[i])
+	}
+	for i := range targets {
+		visit(i)
+	}
+	return out
 }
 
 func check(fset *token.FileSet, path string, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {

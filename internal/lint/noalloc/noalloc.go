@@ -1,0 +1,473 @@
+// Package noalloc enforces the //simlint:noalloc function directive: the
+// annotated function and everything it (transitively) calls must be free of
+// allocating constructs, so the engine's steady-state hot paths — schedule→
+// fire, sleep→resume, the per-frame fabric port and trunk paths — cannot
+// silently regress between runs of the dynamic AllocsPerRun guards. The
+// static and dynamic checks are deliberately paired: the AllocsPerRun tests
+// prove the paths are allocation-free today, this analyzer pins the whole
+// call tree so a new allocation is caught at lint time, in the file that
+// introduced it.
+//
+// The check is interprocedural. Within a package it walks the static call
+// graph (internal/lint/analysis.BuildCallGraph); across packages it
+// consumes facts exported when the callee's package was analyzed (the
+// loader returns packages in dependency order, so callee facts always
+// exist by the time a caller is checked). Calls out of the module — the
+// standard library, which exports types but not bodies — are rejected
+// unless they are on a small audited allowlist, because their allocation
+// behavior cannot be derived.
+//
+// What counts as an allocation: make and new; slice, map and &composite
+// literals; append (it may grow its backing array); variadic calls (the
+// argument slice); string concatenation and string<->[]byte conversions;
+// boxing a non-pointer-shaped value into an interface argument; function
+// literals that capture variables; go statements; map assignment. Calls
+// whose callee cannot be resolved statically (function values, interface
+// methods) are flagged too: an unknown callee is an unknown allocation.
+//
+// Two kinds of code are exempt by design:
+//
+//   - arguments of panic(...): a panicking path aborts the simulation, so
+//     its formatting cost is irrelevant;
+//   - blocks guarded by a tracer-enabled check (`if tr.Enabled() { ... }`):
+//     the zero-alloc contract is "when tracing is disabled", matching the
+//     AllocsPerRun tests, which run untraced.
+//
+// Everything else needs an //simlint:allow noalloc <reason> directive on
+// the offending line. The canonical audited exceptions are the amortized
+// growth points (the event heap and free list reach steady-state capacity)
+// and the engine's dispatch of user callbacks (the callback's allocations
+// belong to whoever scheduled it).
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer enforces //simlint:noalloc directives interprocedurally.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid allocating constructs in the call tree of //simlint:noalloc functions",
+	Run:  run,
+}
+
+// Fact is the exported allocation summary of one function: either safe, or
+// the first reason it allocates (with a short position). Importing packages
+// use it to check annotated functions that call across package boundaries.
+type Fact struct {
+	Safe   bool
+	Reason string
+}
+
+// AFact marks Fact as an analysis fact.
+func (*Fact) AFact() {}
+
+// safeStdlib lists callees outside the module that are audited to be
+// allocation-free. Package entries cover every function in the package.
+var safeStdlibPkgs = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+var safeStdlibFuncs = map[string]bool{
+	// Binary searches: the predicate closure, if any, is allocated (and
+	// flagged) at the caller; the search itself only compares.
+	"sort.Search":         true,
+	"sort.SearchFloat64s": true,
+	"sort.SearchInts":     true,
+	// Prefix comparison inspects its operands without copying them.
+	"strings.HasPrefix": true,
+}
+
+// site is one allocating construct (or unresolvable call) in a function.
+type site struct {
+	pos  token.Pos
+	desc string
+}
+
+// funcInfo is the per-function analysis state.
+type funcInfo struct {
+	node    *analysis.FuncNode
+	sites   []site // allocating constructs, cold paths excluded, suppression NOT yet applied
+	edges   []analysis.CallSite
+	dynamic []site // unresolvable calls
+	state   int    // 0 unvisited, 1 visiting, 2 done
+	safe    bool
+	reason  string // first problem, for the exported fact
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	graph := analysis.BuildCallGraphWith(pass, func(n ast.Node) bool {
+		// Function literals are separate functions: the closure allocation
+		// is attributed to the enclosing function (collectSites), but what
+		// the closure's body does happens on the closure's own path.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+		return coldSubtree(pass, n)
+	})
+	infos := make(map[*types.Func]*funcInfo, len(graph.Nodes))
+	for _, node := range graph.Nodes {
+		fi := &funcInfo{node: node, edges: node.Calls}
+		for _, d := range node.Dynamic {
+			fi.dynamic = append(fi.dynamic, site{d.Pos, "call through " + d.Desc + " (allocation behavior unknown)"})
+		}
+		collectSites(pass, node.Decl.Body, fi)
+		infos[node.Fn] = fi
+	}
+
+	// Verdicts in source order (deterministic memoized DFS), then export a
+	// fact for every function so importers can check cross-package paths.
+	for _, node := range graph.Nodes {
+		verdict(pass, infos, infos[node.Fn])
+	}
+	for _, node := range graph.Nodes {
+		fi := infos[node.Fn]
+		pass.ExportObjectFact(node.Fn, &Fact{Safe: fi.safe, Reason: fi.reason})
+	}
+
+	// Report every problem reachable from an annotated root. Reportf
+	// applies //simlint:allow suppression per site.
+	reported := make(map[token.Pos]bool)
+	var report func(fi *funcInfo, root string, seen map[*funcInfo]bool)
+	report = func(fi *funcInfo, root string, seen map[*funcInfo]bool) {
+		if seen[fi] {
+			return
+		}
+		seen[fi] = true
+		for _, s := range fi.sites {
+			if !reported[s.pos] {
+				reported[s.pos] = true
+				pass.Reportf(s.pos, "%s on a //simlint:noalloc path (pinned by %s)", s.desc, root)
+			}
+		}
+		for _, s := range fi.dynamic {
+			if !reported[s.pos] {
+				reported[s.pos] = true
+				pass.Reportf(s.pos, "%s on a //simlint:noalloc path (pinned by %s)", s.desc, root)
+			}
+		}
+		for _, e := range fi.edges {
+			if callee, ok := infos[e.Callee]; ok {
+				report(callee, root, seen)
+				continue
+			}
+			if safe, reason := externalVerdict(pass, e.Callee); !safe && !reported[e.Pos] {
+				reported[e.Pos] = true
+				pass.Reportf(e.Pos, "call to %s on a //simlint:noalloc path (pinned by %s): %s", e.Callee.FullName(), root, reason)
+			}
+		}
+	}
+	for _, node := range graph.Nodes {
+		if analysis.HasNoallocDirective(node.Decl) {
+			report(infos[node.Fn], node.Fn.Name(), make(map[*funcInfo]bool))
+		}
+	}
+	return nil, nil
+}
+
+// verdict computes fi's exported summary: safe unless it has an unexcused
+// local site or calls something unsafe. Suppressed sites are excused — an
+// //simlint:allow noalloc directive is an audited exception, so it cleans
+// the function's fact as well as silencing the local diagnostic. Recursion
+// is treated as safe at the back edge; any real allocation in the cycle
+// still surfaces on the cycle member that contains it.
+func verdict(pass *analysis.Pass, infos map[*types.Func]*funcInfo, fi *funcInfo) (bool, string) {
+	if fi.state == 2 {
+		return fi.safe, fi.reason
+	}
+	if fi.state == 1 {
+		return true, ""
+	}
+	fi.state = 1
+	fi.safe, fi.reason = true, ""
+	fail := func(reason string) {
+		if fi.safe {
+			fi.safe, fi.reason = false, reason
+		}
+	}
+	for _, s := range fi.sites {
+		if !pass.Suppressed(s.pos) {
+			fail(fmt.Sprintf("%s at %s", s.desc, shortPos(pass.Fset, s.pos)))
+		}
+	}
+	for _, s := range fi.dynamic {
+		if !pass.Suppressed(s.pos) {
+			fail(fmt.Sprintf("%s at %s", s.desc, shortPos(pass.Fset, s.pos)))
+		}
+	}
+	for _, e := range fi.edges {
+		if callee, ok := infos[e.Callee]; ok {
+			if safe, reason := verdict(pass, infos, callee); !safe && !pass.Suppressed(e.Pos) {
+				fail(fmt.Sprintf("calls %s: %s", e.Callee.Name(), reason))
+			}
+			continue
+		}
+		if safe, reason := externalVerdict(pass, e.Callee); !safe && !pass.Suppressed(e.Pos) {
+			fail(fmt.Sprintf("calls %s: %s", e.Callee.FullName(), reason))
+		}
+	}
+	fi.state = 2
+	return fi.safe, fi.reason
+}
+
+// externalVerdict judges a callee declared outside this package: by
+// imported fact if its package was analyzed earlier in the run, by the
+// stdlib allowlist otherwise.
+func externalVerdict(pass *analysis.Pass, fn *types.Func) (bool, string) {
+	var fact Fact
+	if pass.ImportObjectFact(fn, &fact) {
+		if fact.Safe {
+			return true, ""
+		}
+		return false, fact.Reason
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		if safeStdlibPkgs[pkg.Path()] || safeStdlibFuncs[fn.FullName()] {
+			return true, ""
+		}
+	}
+	return false, "declared outside the module; allocation behavior unknown"
+}
+
+// collectSites walks body (cold subtrees already excluded by the caller's
+// skip function being re-applied here) and records allocating constructs.
+func collectSites(pass *analysis.Pass, body *ast.BlockStmt, fi *funcInfo) {
+	add := func(pos token.Pos, desc string) {
+		fi.sites = append(fi.sites, site{pos, desc})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if coldSubtree(pass, n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := captures(pass, n); caps != "" {
+				add(n.Pos(), "function literal captures "+caps+" and allocates a closure")
+			}
+			// The literal's body is a separate function executed on its own
+			// path; only the closure allocation itself belongs to this one.
+			return false
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				add(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "&composite literal escapes to the heap")
+					// Still descend: the literal's elements may allocate too.
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n)) {
+				// Constant-folded concatenation costs nothing at run time.
+				if tv, ok := pass.TypesInfo.Types[n]; !ok || tv.Value == nil {
+					add(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := pass.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+						add(lhs.Pos(), "map assignment may grow the map")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, add)
+		}
+		return true
+	})
+}
+
+// checkCall records allocation sites arising from one call expression:
+// builtins, conversions, variadic argument slices and interface boxing.
+// Call *edges* are the call graph's business, not handled here.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, add func(token.Pos, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				add(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := pass.TypeOf(call), pass.TypeOf(call.Args[0])
+		if to != nil && from != nil {
+			if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+				add(call.Pos(), "string conversion allocates")
+			}
+		}
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		add(call.Pos(), "variadic call allocates its argument slice")
+	}
+	// Boxing: a non-pointer-shaped concrete value passed where an interface
+	// is expected is heap-allocated by the conversion.
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			break
+		}
+		param := sig.Params().At(pi).Type()
+		if sig.Variadic() && pi == sig.Params().Len()-1 && !call.Ellipsis.IsValid() {
+			if s, ok := param.Underlying().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || !types.IsInterface(param) || types.IsInterface(at) {
+			continue
+		}
+		if !pointerShaped(at) && !isNilLiteral(pass, arg) {
+			add(arg.Pos(), "interface conversion boxes a "+at.String()+" value")
+		}
+	}
+}
+
+// coldSubtree reports whether n is exempt from the zero-alloc contract:
+// panic arguments (the run is aborting) and tracer-guarded blocks (the
+// contract is zero-alloc with tracing disabled).
+func coldSubtree(pass *analysis.Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return isTraceGuard(pass, n.Cond)
+	}
+	return false
+}
+
+// isTraceGuard reports whether cond contains a call to a method named
+// Enabled on a type named Tracer — the idiom `if tr.Enabled() { ... }`
+// guarding expensive instrumentation.
+func isTraceGuard(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Enabled" {
+			return true
+		}
+		t := pass.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Tracer" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// captures returns the name of a variable the literal captures from its
+// enclosing function, or "" if it captures nothing (a non-capturing literal
+// compiles to a static closure and does not allocate).
+func captures(pass *analysis.Pass, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Parent() == nil {
+			return true
+		}
+		// Package-level variables are not captured; a variable declared
+		// outside the literal but inside some function is.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit in an interface's data word
+// without a heap copy: pointers, channels, maps, funcs and unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isNilLiteral(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

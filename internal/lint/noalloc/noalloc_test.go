@@ -1,0 +1,18 @@
+package noalloc
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "noalloc")
+}
+
+// TestCrossPackageFacts checks that allocation summaries flow through
+// exported facts: noallocuse is analyzed after its dependency noallocdep,
+// and the findings (and exonerations) come from the dependency's facts.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "noallocuse")
+}

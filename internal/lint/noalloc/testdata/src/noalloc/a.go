@@ -1,0 +1,200 @@
+// Package noalloc is the single-package fixture for the noalloc analyzer:
+// every allocating construct, the cold-path exemptions, allow-directive
+// suppression, and the guarded/unguarded pair that proves removing an
+// allocation guard from an annotated function makes the check fail.
+package noalloc
+
+// Tracer mimics internal/trace.Tracer for the instrumentation exemption.
+type Tracer struct{ on bool }
+
+func (t *Tracer) Enabled() bool { return t != nil && t.on }
+
+type Engine struct {
+	heap []int
+	m    map[string]int
+	b    []byte
+	tr   *Tracer
+	fn   func()
+}
+
+//simlint:noalloc
+func (e *Engine) MakeSlice() {
+	_ = make([]int, 4) // want `make allocates .*pinned by MakeSlice`
+}
+
+//simlint:noalloc
+func (e *Engine) NewInt() {
+	_ = new(int) // want `new allocates .*pinned by NewInt`
+}
+
+//simlint:noalloc
+func (e *Engine) Append(v int) {
+	e.heap = append(e.heap, v) // want `append may grow its backing array .*pinned by Append`
+}
+
+//simlint:noalloc
+func (e *Engine) SliceLit() {
+	_ = []int{1, 2} // want `slice literal allocates .*pinned by SliceLit`
+}
+
+//simlint:noalloc
+func (e *Engine) MapLit() {
+	_ = map[string]int{} // want `map literal allocates .*pinned by MapLit`
+}
+
+//simlint:noalloc
+func (e *Engine) AddrLit() {
+	_ = &Engine{} // want `&composite literal escapes .*pinned by AddrLit`
+}
+
+//simlint:noalloc
+func (e *Engine) Concat(s string) string {
+	return s + "!" // want `string concatenation allocates .*pinned by Concat`
+}
+
+// ConstConcat folds at compile time: no allocation, no finding.
+//
+//simlint:noalloc
+func (e *Engine) ConstConcat() string {
+	return "a" + "b"
+}
+
+//simlint:noalloc
+func (e *Engine) MapAssign() {
+	e.m["k"] = 1 // want `map assignment may grow the map .*pinned by MapAssign`
+}
+
+//simlint:noalloc
+func (e *Engine) Convert() string {
+	return string(e.b) // want `string conversion allocates .*pinned by Convert`
+}
+
+//simlint:noalloc
+func (e *Engine) Spawn() {
+	go e.work() // want `go statement allocates a goroutine .*pinned by Spawn`
+}
+
+func (e *Engine) work() {}
+
+//simlint:noalloc
+func (e *Engine) Capture(v int) func() int {
+	return func() int { return v } // want `function literal captures v .*pinned by Capture`
+}
+
+// StaticClosure captures nothing: compiled to a static closure, no
+// allocation.
+//
+//simlint:noalloc
+func (e *Engine) StaticClosure() func() int {
+	return func() int { return 42 }
+}
+
+//simlint:noalloc
+func (e *Engine) Dynamic() {
+	e.fn() // want `function-typed field fn .*pinned by Dynamic`
+}
+
+func vsum(xs ...int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//simlint:noalloc
+func (e *Engine) Variadic() int {
+	return vsum(1, 2) // want `variadic call allocates its argument slice .*pinned by Variadic`
+}
+
+// VariadicEmpty passes a nil slice: nothing allocated.
+//
+//simlint:noalloc
+func (e *Engine) VariadicEmpty() int {
+	return vsum()
+}
+
+func sink(v any) {}
+
+//simlint:noalloc
+func (e *Engine) Box() {
+	sink(42) // want `interface conversion boxes a int value .*pinned by Box`
+}
+
+// BoxPointer passes a pointer-shaped value: fits the interface word, no
+// heap copy.
+//
+//simlint:noalloc
+func (e *Engine) BoxPointer() {
+	sink(e)
+}
+
+// Panicking paths are exempt: the run is aborting anyway.
+//
+//simlint:noalloc
+func (e *Engine) PanicPath(name string) {
+	if name == "" {
+		panic("engine: unnamed proc " + name)
+	}
+}
+
+// Tracer-guarded blocks are exempt: the contract is zero-alloc with
+// tracing disabled, matching the untraced AllocsPerRun guards.
+//
+//simlint:noalloc
+func (e *Engine) Traced() {
+	if e.tr.Enabled() {
+		e.heap = append(e.heap, len(e.m))
+	}
+}
+
+// Helper allocations are attributed to the annotated root that reaches
+// them.
+//
+//simlint:noalloc
+func (e *Engine) Root() {
+	e.helper()
+}
+
+func (e *Engine) helper() {
+	_ = make([]int, 1) // want `make allocates .*pinned by Root`
+}
+
+// Cold is never reached from an annotated root: fact only, no finding.
+func (e *Engine) Cold() {
+	_ = make([]int, 8)
+}
+
+// PushGuarded mirrors the engine's heap push: amortized growth to
+// steady-state capacity, excused by an audited directive.
+//
+//simlint:noalloc
+func (e *Engine) PushGuarded(v int) {
+	e.heap = append(e.heap, v) //simlint:allow noalloc amortized growth; steady state reuses capacity
+}
+
+// PushUnguarded is PushGuarded with the allocation guard removed: the
+// analyzer must fail.
+//
+//simlint:noalloc
+func (e *Engine) PushUnguarded(v int) {
+	e.heap = append(e.heap, v) // want `append may grow its backing array .*pinned by PushUnguarded`
+}
+
+// Mutual recursion terminates the verdict walk at the back edge.
+//
+//simlint:noalloc
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+//simlint:noalloc
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}

@@ -1,0 +1,20 @@
+// Package noallocdep is the dependency side of the cross-package facts
+// fixture: its functions are analyzed first and export Fact summaries that
+// package noallocuse consumes.
+package noallocdep
+
+// Clean is allocation-free; its fact says so.
+func Clean(x int) int { return x + 1 }
+
+// Dirty allocates; callers on noalloc paths are flagged at the call site
+// with this function's reason.
+func Dirty(n int) []int {
+	return make([]int, n)
+}
+
+// Amortized grows a buffer under an audited allow directive, so its
+// exported fact is clean: the directive excuses the site for cross-package
+// callers too, exactly like the engine's event-heap push.
+func Amortized(buf []int, v int) []int {
+	return append(buf, v) //simlint:allow noalloc amortized growth to steady-state capacity
+}

@@ -1,0 +1,23 @@
+// Package noallocuse exercises the interprocedural half of noalloc: the
+// annotated function calls into package noallocdep, whose allocation
+// behavior arrives via exported facts, not source.
+package noallocuse
+
+import "noallocdep"
+
+type S struct{ buf []int }
+
+//simlint:noalloc
+func (s *S) Hot(x int) int {
+	x = noallocdep.Clean(x)
+	s.buf = noallocdep.Amortized(s.buf, x)
+	_ = noallocdep.Dirty(x) // want `call to noallocdep\.Dirty .*pinned by Hot.*: make allocates`
+	return x
+}
+
+// Excused calls a dirty dependency under a local audited directive.
+//
+//simlint:noalloc
+func (s *S) Excused(x int) {
+	_ = noallocdep.Dirty(x) //simlint:allow noalloc scratch buffer on the error path only
+}

@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersForScoping pins the scope wiring: the sim domain carries the
+// full determinism contract, cmd tools everything but detclock, and the
+// fact-dependent noalloc analyzer runs only under the fact-carrying driver.
+func TestAnalyzersForScoping(t *testing.T) {
+	names := func(path string, facts bool) map[string]bool {
+		out := map[string]bool{}
+		for _, a := range AnalyzersFor(path, facts) {
+			out[a.Name] = true
+		}
+		return out
+	}
+
+	sim := names("repro/internal/sim", true)
+	for _, want := range []string{"detclock", "maporder", "nogoroutine", "timeunits", "tracekeys", "sharedstate", "seedrand", "noalloc", "directive"} {
+		if !sim[want] {
+			t.Errorf("internal/sim: missing analyzer %s", want)
+		}
+	}
+
+	cmd := names("repro/cmd/figures", true)
+	if cmd["detclock"] {
+		t.Error("cmd tools must not carry detclock: wall-clock ETAs and benchmark timing are legitimate there")
+	}
+	for _, want := range []string{"maporder", "nogoroutine", "timeunits", "sharedstate", "seedrand", "noalloc", "directive"} {
+		if !cmd[want] {
+			t.Errorf("cmd/figures: missing analyzer %s", want)
+		}
+	}
+
+	if names("repro/internal/fabric", false)["noalloc"] {
+		t.Error("noalloc must not run under fact-less drivers: every cross-package callee would be unknown")
+	}
+
+	if len(AnalyzersFor("fmt", true)) != 0 {
+		t.Error("packages outside the module must get no analyzers")
+	}
+}
+
+// TestStaleDirectiveReporting builds a throwaway module and checks the
+// whole-run staleness pass: an allow directive that suppresses a live
+// diagnostic stays, one that suppresses nothing is reported for removal.
+func TestStaleDirectiveReporting(t *testing.T) {
+	dir := t.TempDir()
+	simDir := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(simDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// The module must be named repro so the scope rules apply to it.
+	writeFile(t, filepath.Join(dir, "go.mod"), "module repro\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(simDir, "sim.go"), `package sim
+
+func keys(m map[string]bool) []string {
+	var out []string
+	//simlint:allow maporder callers sort the result; collection order is irrelevant
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func pure(x int) int {
+	//simlint:allow maporder nothing on this line ever triggered maporder
+	return x + 1
+}
+`)
+
+	res, err := Run(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var stale []string
+	for _, d := range res.Diags {
+		if strings.Contains(d.Message, "stale //simlint:allow") {
+			pos := res.Fset.Position(d.Pos)
+			stale = append(stale, pos.Filename+":"+strconv.Itoa(pos.Line))
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s: %s", res.Fset.Position(d.Pos), d.Message)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale-directive diagnostic, got %d: %v", len(stale), stale)
+	}
+	if !strings.HasSuffix(stale[0], "sim.go:13") {
+		t.Errorf("stale diagnostic at %s, want the directive line sim.go:13", stale[0])
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,10 +42,41 @@ var SimDomain = []string{
 	"internal/bench",
 }
 
+// ModelPackages lists the packages (module-relative) that model simulated
+// hardware or protocols: everything whose state belongs to exactly one
+// simulated world. The shard-safety contract — no package-level mutable
+// state that could alias across shards of a future parallel-DES engine —
+// is enforced here by the sharedstate analyzer, and the seeded-randomness
+// contract (seedrand) shares the same scope. The list is SimDomain minus
+// the experiment-driver layers (cluster, bench) plus the device and fault
+// models that sit beside the engine (pci, faults).
+var ModelPackages = []string{
+	"internal/sim",
+	"internal/fabric",
+	"internal/iwarp",
+	"internal/ib",
+	"internal/mx",
+	"internal/tcpsim",
+	"internal/mem",
+	"internal/mpi",
+	"internal/sockets",
+	"internal/verbs",
+	"internal/udapl",
+	"internal/pci",
+	"internal/faults",
+}
+
 // CheckNames are the analyzer names a //simlint:allow directive may cite.
 // The directive validator itself is deliberately absent: a malformed-
 // directive diagnostic cannot be silenced by another directive.
-var CheckNames = []string{"detclock", "maporder", "nogoroutine", "timeunits", "tracekeys"}
+var CheckNames = []string{
+	"detclock", "maporder", "nogoroutine", "timeunits", "tracekeys",
+	"sharedstate", "noalloc", "seedrand",
+}
+
+// DirectiveVerbs are the words that may follow "//simlint:". Anything else
+// is a typo the directive validator flags.
+var DirectiveVerbs = []string{"allow", "noalloc"}
 
 // KnownCheck reports whether name is a valid //simlint:allow check name.
 func KnownCheck(name string) bool {
@@ -95,6 +126,49 @@ func WantsTraceKeys(importPath string) bool {
 // WantsDirectiveCheck reports whether the directive validator applies
 // (every package in the module).
 func WantsDirectiveCheck(importPath string) bool {
+	_, ok := rel(importPath)
+	return ok
+}
+
+// IsModelPackage reports whether the package carries the shard-safety and
+// seeded-randomness contracts. Packages outside the module (analysistest
+// testdata) count as model packages so the analyzers can be exercised on
+// arbitrary fixtures.
+func IsModelPackage(importPath string) bool {
+	p, ok := rel(importPath)
+	if !ok {
+		return true
+	}
+	for _, d := range ModelPackages {
+		if p == d {
+			return true
+		}
+	}
+	return false
+}
+
+// InCmdDomain reports whether the package is one of the command-line tools.
+// The tools are linted for output determinism (maporder — figure tables and
+// trace dumps must not depend on map order), for ad-hoc concurrency
+// (nogoroutine — all parallelism belongs to internal/parallel), for
+// unit-checked durations, and for the module-wide checks (tracekeys,
+// directives, sharedstate writes, noalloc, seedrand). detclock does NOT
+// apply: wall-clock reads are the tools' legitimate business (progress ETAs,
+// benchmark timings) and never feed simulated results.
+func InCmdDomain(importPath string) bool {
+	p, ok := rel(importPath)
+	if !ok {
+		return false
+	}
+	return strings.HasPrefix(p, "cmd/")
+}
+
+// WantsModuleWide reports whether the module-wide analyzers (sharedstate's
+// cross-package write check, noalloc, seedrand) apply. That is every module
+// package: noalloc is directive-driven so it is inert where nothing is
+// annotated, and writes to model-package globals are a bug wherever they
+// appear — experiment drivers and cmd tools included.
+func WantsModuleWide(importPath string) bool {
 	_, ok := rel(importPath)
 	return ok
 }

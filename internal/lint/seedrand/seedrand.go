@@ -1,0 +1,106 @@
+// Package seedrand enforces the seeded-randomness contract: every random
+// number in the simulation derives from the seeded SplitMix64 generator
+// (sim.NewRNG), so a run is a pure function of its experiment seed. Two
+// ways to break that are flagged:
+//
+//   - importing a nondeterministic randomness source at all: math/rand and
+//     math/rand/v2 (global generator, seeded from runtime entropy since Go
+//     1.20), crypto/rand (hardware entropy), hash/maphash (per-process
+//     random seed). The import is the finding — there is no deterministic
+//     way to use these packages in a simulation;
+//
+//   - seeding the deterministic generator from the environment: a call to
+//     NewRNG whose seed expression contains a call into time or os
+//     (time.Now().UnixNano(), os.Getpid(), ...) launders wall-clock or
+//     process entropy into the "seeded" stream. Seeds come from flags,
+//     configs, or are derived from the experiment's root seed.
+//
+// The NewRNG check matches the callee by name so the analyzer stays
+// testable on fixtures that cannot import internal/sim; the repo has
+// exactly one NewRNG.
+package seedrand
+
+import (
+	"go/ast"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer enforces that all randomness derives from the seeded SplitMix64.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc:  "forbid nondeterministic randomness sources; all randomness derives from the seeded SplitMix64",
+	Run:  run,
+}
+
+// bannedImports maps forbidden import paths to what is wrong with them.
+var bannedImports = map[string]string{
+	"math/rand":    "its global generator is seeded from runtime entropy",
+	"math/rand/v2": "its global generator is seeded from runtime entropy",
+	"crypto/rand":  "it reads hardware entropy",
+	"hash/maphash": "its seeds are random per process",
+}
+
+// taintedPkgs are packages whose call results must not feed an RNG seed.
+var taintedPkgs = map[string]bool{
+	"time": true,
+	"os":   true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden: %s; derive all randomness from the seeded SplitMix64 (sim.NewRNG)", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := analysis.ResolveCallee(pass, call)
+			if fn == nil || fn.Name() != "NewRNG" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if src := environmentCall(pass, arg); src != "" {
+					pass.Reportf(call.Pos(), "RNG seeded from %s; seeds must be deterministic (a flag, a config field, or derived from the experiment seed)", src)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// environmentCall returns the name of a call into a tainted package found
+// anywhere in the expression tree of e, or "".
+func environmentCall(pass *analysis.Pass, e ast.Expr) string {
+	src := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := analysis.ResolveCallee(pass, call)
+		if fn == nil {
+			return true
+		}
+		if pkg := fn.Pkg(); pkg != nil && taintedPkgs[pkg.Path()] {
+			src = fn.FullName()
+			return false
+		}
+		return true
+	})
+	return src
+}

@@ -1,0 +1,11 @@
+package seedrand
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestSeedrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "seedrand")
+}

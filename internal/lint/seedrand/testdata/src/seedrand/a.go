@@ -1,0 +1,49 @@
+// Package seedrand is the fixture for the seeded-randomness contract:
+// banned imports, environment-tainted seeds, and the deterministic seeding
+// patterns that must pass.
+package seedrand
+
+import (
+	"crypto/rand"     // want `import of crypto/rand is forbidden: it reads hardware entropy`
+	"hash/maphash"    // want `import of hash/maphash is forbidden: its seeds are random per process`
+	mrand "math/rand" // want `import of math/rand is forbidden: its global generator is seeded from runtime entropy`
+	"os"
+	"time"
+)
+
+// RNG mimics sim.RNG.
+type RNG struct{ s uint64 }
+
+// NewRNG mimics sim.NewRNG; the analyzer matches the callee by name.
+func NewRNG(seed uint64) *RNG { return &RNG{s: seed} }
+
+type Config struct{ Seed uint64 }
+
+func Deterministic(cfg Config) *RNG {
+	// Seeds from configuration or literals are the contract.
+	r := NewRNG(cfg.Seed)
+	_ = NewRNG(42)
+	return r
+}
+
+func Derived(parent *RNG, rank uint64) *RNG {
+	return NewRNG(parent.s ^ rank)
+}
+
+func WallClockSeed() *RNG {
+	return NewRNG(uint64(time.Now().UnixNano())) // want `RNG seeded from \(time\.Time\)\.UnixNano`
+}
+
+func ProcessSeed() *RNG {
+	return NewRNG(uint64(os.Getpid())) // want `RNG seeded from os\.Getpid`
+}
+
+func Excused() *RNG {
+	return NewRNG(uint64(os.Getpid())) //simlint:allow seedrand throwaway smoke binary, results never recorded
+}
+
+func keepImports() {
+	_ = mrand.Int
+	_ = rand.Reader
+	_ = maphash.Hash{}
+}

@@ -1,0 +1,282 @@
+// Package sharedstate enforces the shard-safety contract that gates the
+// parallel-DES refactor (ROADMAP item 3): model packages — everything that
+// simulates hardware or protocol state — must keep all mutable state inside
+// per-world structs, never at package level. When the conservative parallel
+// engine runs multiple worlds concurrently, a package-level map, counter or
+// registry silently aliases across worlds; a data race at best, a
+// cross-contaminated result at worst. The analyzer makes that class of bug
+// a lint error today, while the engine is still single-threaded.
+//
+// Two checks, two scopes (this analyzer consults internal/lint/scope
+// directly — unlike the intraprocedural checkers it needs different rules
+// on the two sides of a package boundary):
+//
+//   - Declarations, in model packages only: every package-level var whose
+//     type is mutable by shape (map, slice, pointer, channel, function,
+//     interface, sync primitive, or a struct/array containing one) is
+//     flagged, as is every exported var (anyone can assign it) and every
+//     unexported var the package itself writes. Immutable-shaped, unwritten
+//     unexported vars — pure constants that Go's const cannot express —
+//     pass. Error sentinels pass: an unexported `error` assigned once at
+//     declaration, or an exported one named Err*, is the standard library's
+//     own idiom and is never written.
+//
+//   - Writes, module-wide: every package-level var of a model package gets
+//     a SharedVar fact (suppressed declarations included — the allow
+//     directive vouches for the declaration, not for outside writers).
+//     Any assignment, ++/--, or &-taking whose root resolves to such a var
+//     from another package is flagged at the write site.
+//
+// A read-only table that the analyzer cannot prove immutable (e.g. a
+// package-level parse table of slice type) carries an
+// //simlint:allow sharedstate <reason> directive on its declaration.
+package sharedstate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/scope"
+)
+
+// Analyzer flags package-level mutable state in model packages and
+// cross-package writes to it.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedstate",
+	Doc:  "forbid package-level mutable state in model packages (shard safety for parallel DES)",
+	Run:  run,
+}
+
+// SharedVar marks a package-level variable of a model package, so importing
+// packages can flag writes to it.
+type SharedVar struct{}
+
+// AFact marks SharedVar as an analysis fact.
+func (*SharedVar) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	if scope.IsModelPackage(pass.Pkg.Path()) {
+		checkDecls(pass)
+	}
+	checkWrites(pass)
+	return nil, nil
+}
+
+// checkDecls reports shard-unsafe package-level variable declarations and
+// exports a SharedVar fact for every package-level var.
+func checkDecls(pass *analysis.Pass) {
+	written := inPackageWrites(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					pass.ExportObjectFact(v, &SharedVar{})
+					reportDecl(pass, name, v, written[v])
+				}
+			}
+		}
+	}
+}
+
+func reportDecl(pass *analysis.Pass, name *ast.Ident, v *types.Var, writtenAt token.Pos) {
+	// Error sentinels: assigned once at declaration, never written — the
+	// standard library's own package-var idiom.
+	if isErrorSentinel(v, writtenAt) {
+		return
+	}
+	if v.Exported() {
+		pass.Reportf(name.Pos(), "exported package-level variable %s is mutable shared state across simulated worlds; use a function, a constant, or a per-world field", v.Name())
+		return
+	}
+	if why := mutableShape(v.Type(), nil); why != "" {
+		pass.Reportf(name.Pos(), "package-level variable %s holds mutable state (%s); move it into a per-world struct", v.Name(), why)
+		return
+	}
+	if writtenAt.IsValid() {
+		pass.Reportf(name.Pos(), "package-level variable %s is written at %s; per-world state must live in a per-world struct", v.Name(), shortPos(pass.Fset, writtenAt))
+	}
+}
+
+func isErrorSentinel(v *types.Var, writtenAt token.Pos) bool {
+	if writtenAt.IsValid() {
+		return false
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	return !v.Exported() || strings.HasPrefix(v.Name(), "Err")
+}
+
+// inPackageWrites returns, for each package-level var this package itself
+// mutates (assignment, ++/--, or address-taking), the first such position.
+func inPackageWrites(pass *analysis.Pass) map[*types.Var]token.Pos {
+	writes := make(map[*types.Var]token.Pos)
+	record := func(e ast.Expr) {
+		if v := rootPackageVar(pass, e); v != nil && v.Pkg() == pass.Pkg {
+			if _, ok := writes[v]; !ok {
+				writes[v] = e.Pos()
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					record(lhs)
+				}
+			case *ast.IncDecStmt:
+				record(n.X)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					record(n.X)
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}
+
+// checkWrites flags mutations of another package's SharedVar-marked
+// variables: the state is per-world by contract and must not be poked from
+// outside, wherever the writer lives (drivers and cmd tools included).
+func checkWrites(pass *analysis.Pass) {
+	report := func(e ast.Expr, what string) {
+		v := rootPackageVar(pass, e)
+		if v == nil || v.Pkg() == pass.Pkg {
+			return
+		}
+		var fact SharedVar
+		if !pass.ImportObjectFact(v, &fact) {
+			return
+		}
+		pass.Reportf(e.Pos(), "%s package-level variable %s.%s; model-package state is per-world and must not be mutated from outside", what, v.Pkg().Name(), v.Name())
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					report(lhs, "write to")
+				}
+			case *ast.IncDecStmt:
+				report(n.X, "write to")
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					report(n.X, "address taken of")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rootPackageVar resolves the base of an lvalue chain (selectors, indexes,
+// parens) to a package-level variable, or nil. Writes through local
+// pointers are invisible to it — the analyzer is a contract check, not an
+// escape analysis.
+func rootPackageVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[x].(*types.Var)
+			if ok && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// Qualified reference pkg.Var resolves directly; otherwise
+			// descend to the receiver.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var)
+					if ok && v.Parent() == v.Pkg().Scope() {
+						return v
+					}
+					return nil
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mutableShape explains why values of t can be mutated in place (or reach
+// state that can), or returns "" for immutable-by-shape types. Types from
+// sync and sync/atomic are synchronization primitives whatever their
+// underlying shape.
+func mutableShape(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			if p := pkg.Path(); p == "sync" || p == "sync/atomic" {
+				return "synchronization primitive " + named.Obj().Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return ""
+	case *types.Pointer:
+		return "pointer type"
+	case *types.Slice:
+		return "slice type"
+	case *types.Map:
+		return "map type"
+	case *types.Chan:
+		return "channel type"
+	case *types.Signature:
+		return "function type"
+	case *types.Interface:
+		return "interface type"
+	case *types.Array:
+		return mutableShape(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if why := mutableShape(f.Type(), seen); why != "" {
+				return "field " + f.Name() + " has " + why
+			}
+		}
+		return ""
+	}
+	return "unclassified type"
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

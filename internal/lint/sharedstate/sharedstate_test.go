@@ -1,0 +1,18 @@
+package sharedstate
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestDecls(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "sharedstate")
+}
+
+// TestCrossPackageWrites checks the SharedVar fact flow: writes to another
+// package's model state are flagged at the write site, including state
+// whose declaration was allow-listed.
+func TestCrossPackageWrites(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "sharedstateuse")
+}

@@ -1,0 +1,52 @@
+// Package sharedstate is the declaration-side fixture: every shard-unsafe
+// shape of package-level state, the error-sentinel and pure-constant
+// exceptions, and allow-directive suppression.
+package sharedstate
+
+import (
+	"errors"
+	"sync"
+)
+
+type Config struct {
+	Lanes int
+	Gbps  float64
+}
+
+type registryT struct {
+	byName map[string]int
+}
+
+var Registry = map[string]int{} // want `exported package-level variable Registry is mutable shared state`
+
+var Default = Config{Lanes: 8} // want `exported package-level variable Default is mutable shared state`
+
+var ErrClosed = errors.New("closed") // exported error sentinel: stdlib idiom, never written
+
+var errInternal = errors.New("internal") // unexported error sentinel
+
+var counter int // want `package-level variable counter is written at a\.go:\d+`
+
+var limit = 64 // immutable shape, never written: a const Go cannot spell
+
+var mu sync.Mutex // want `package-level variable mu holds mutable state \(synchronization primitive Mutex\)`
+
+var table = []int{1, 2, 3} // want `package-level variable table holds mutable state \(slice type\)`
+
+var hook func(int) // want `package-level variable hook holds mutable state \(function type\)`
+
+var active = &Config{} // want `package-level variable active holds mutable state \(pointer type\)`
+
+var reg = registryT{} // want `package-level variable reg holds mutable state \(field byName has map type\)`
+
+//simlint:allow sharedstate read-only parse table, written by no one
+var units = []string{"ns", "us", "ms"}
+
+func bump() {
+	counter++
+}
+
+func use() (int, []string) {
+	hook = nil // the decl diagnostic covers in-package writes; no second report here
+	return limit, units
+}

@@ -1,0 +1,15 @@
+// Package sharedstatedep is the dependency side of the write-check
+// fixture: its package-level vars carry SharedVar facts (the allow
+// directives silence the declaration diagnostics but facts still flow, so
+// outside writers are caught regardless).
+package sharedstatedep
+
+//simlint:allow sharedstate legacy default, migration tracked separately
+var Mode = map[string]int{}
+
+//simlint:allow sharedstate legacy counter, migration tracked separately
+var Count int
+
+// Budget is immutable-shaped and unwritten here: no declaration
+// diagnostic, but outside writers are still flagged through its fact.
+var Budget = 100

@@ -1,0 +1,25 @@
+// Package sharedstateuse exercises the module-wide write check: mutating
+// another package's model state is flagged at the write site via the
+// SharedVar fact, even when the declaration itself was allow-listed.
+package sharedstateuse
+
+import "sharedstatedep"
+
+func Configure() {
+	sharedstatedep.Mode["x"] = 1 // want `write to package-level variable sharedstatedep\.Mode`
+	sharedstatedep.Count++       // want `write to package-level variable sharedstatedep\.Count`
+	sharedstatedep.Budget = 0    // want `write to package-level variable sharedstatedep\.Budget`
+}
+
+func Inspect() *int {
+	return &sharedstatedep.Count // want `address taken of package-level variable sharedstatedep\.Count`
+}
+
+func Read() int {
+	// Reads are fine: per-world state is consumed, not mutated.
+	return sharedstatedep.Budget + len(sharedstatedep.Mode)
+}
+
+func Reset() {
+	sharedstatedep.Count = 0 //simlint:allow sharedstate runner resets between worlds under the pool barrier
+}

@@ -92,7 +92,7 @@ func DefaultConfig() Config {
 		},
 		RegChunk:     32 << 10,
 		RegCacheSize: 1024,
-		PCIe:         pci.PCIeX4,
+		PCIe:         pci.PCIeX4(),
 	}
 }
 

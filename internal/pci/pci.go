@@ -217,30 +217,39 @@ func (b *Bus) Utilization() (toDevice, toHost float64) {
 
 // Standard-ish bus configurations for the paper's 2006-era testbed. The
 // effective payload rates these yield (raw rate x efficiency) are what the
-// calibration in internal/cluster relies on.
-var (
-	// PCIeX8 approximates a PCIe 1.1 x8 slot: 2 GB/s raw per direction,
-	// 256-byte TLPs with 24 bytes of overhead (~91% efficiency), and the
-	// multi-microsecond read round trip typical of E7520-era chipsets.
-	PCIeX8 = Config{
+// calibration in internal/cluster relies on. They are functions, not
+// package-level vars: every caller gets a fresh Config value, so no world
+// can mutate another's bus model (the sharedstate contract).
+
+// PCIeX8 approximates a PCIe 1.1 x8 slot: 2 GB/s raw per direction,
+// 256-byte TLPs with 24 bytes of overhead (~91% efficiency), and the
+// multi-microsecond read round trip typical of E7520-era chipsets.
+func PCIeX8() Config {
+	return Config{
 		Name: "pcie-x8", Rate: 2 * sim.GBps, MaxPayload: 256, PacketHeader: 24,
 		ReadLatency: 900 * sim.Nanosecond, WriteLatency: 250 * sim.Nanosecond,
 		SharedRate: 2150 * sim.MBps,
 	}
-	// PCIeX4 halves the lane count. The Myri-10G NIC runs in this mode on
-	// the testbed ("forced to work in the PCI express x4 mode").
-	PCIeX4 = Config{
+}
+
+// PCIeX4 halves the lane count. The Myri-10G NIC runs in this mode on
+// the testbed ("forced to work in the PCI express x4 mode").
+func PCIeX4() Config {
+	return Config{
 		Name: "pcie-x4", Rate: 1 * sim.GBps, MaxPayload: 512, PacketHeader: 24,
 		ReadLatency: 900 * sim.Nanosecond, WriteLatency: 250 * sim.Nanosecond,
 		SharedRate: 1450 * sim.MBps,
 	}
-	// PCIX133 is one 64-bit/133 MHz PCI-X segment: 1064 MB/s shared between
-	// directions. The NetEffect NE010's protocol engine sits behind a
-	// PCI-X-to-PCIe bridge built from two such segments (one per direction
-	// in our model; see internal/cluster for the bridge construction).
-	PCIX133 = Config{
+}
+
+// PCIX133 is one 64-bit/133 MHz PCI-X segment: 1064 MB/s shared between
+// directions. The NetEffect NE010's protocol engine sits behind a
+// PCI-X-to-PCIe bridge built from two such segments (one per direction
+// in our model; see internal/cluster for the bridge construction).
+func PCIX133() Config {
+	return Config{
 		Name: "pcix-133", Rate: 1064 * sim.MBps, MaxPayload: 512, PacketHeader: 16,
 		ReadLatency: 500 * sim.Nanosecond, WriteLatency: 150 * sim.Nanosecond,
 		HalfDuplex: true,
 	}
-)
+}

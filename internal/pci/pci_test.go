@@ -159,7 +159,7 @@ func TestUtilizationAndBytes(t *testing.T) {
 
 func TestStandardConfigs(t *testing.T) {
 	eng := sim.NewEngine()
-	for _, cfg := range []Config{PCIeX8, PCIeX4, PCIX133} {
+	for _, cfg := range []Config{PCIeX8(), PCIeX4(), PCIX133()} {
 		b := New(eng, cfg)
 		if e := b.Efficiency(); e < 0.8 || e > 1.0 {
 			t.Errorf("%s efficiency = %v", cfg.Name, e)
@@ -168,8 +168,8 @@ func TestStandardConfigs(t *testing.T) {
 	// Effective PCIe x8 payload rate must exceed both the IB data rate
 	// (1 GB/s) and 10GigE (1.25 GB/s) so the host bus is not the bottleneck
 	// for those NICs -- matching the paper's setup.
-	b := New(eng, PCIeX8)
-	eff := float64(PCIeX8.Rate) * b.Efficiency()
+	b := New(eng, PCIeX8())
+	eff := float64(PCIeX8().Rate) * b.Efficiency()
 	if eff < 1.3e9 {
 		t.Errorf("PCIe x8 effective rate %.0f B/s too low", eff)
 	}

@@ -20,17 +20,21 @@ import (
 type Event struct {
 	at    Time
 	seq   uint64
-	fn    func()  // callback; nil for process dispatch events
-	proc  *Proc   // non-nil for a process's pre-bound dispatch event
-	eng   *Engine // owner, for Cancel's heap removal
-	index int32   // heap index; -1 while not queued
-	owned bool    // no caller handle escaped: recycle on fire
+	fn    func()    // callback; nil for dispatch and argument-carrying events
+	fnArg func(any) // argument-carrying callback (AfterArg/AtArg); nil otherwise
+	arg   any       // argument passed to fnArg
+	proc  *Proc     // non-nil for a process's pre-bound dispatch event
+	eng   *Engine   // owner, for Cancel's heap removal
+	index int32     // heap index; -1 while not queued
+	owned bool      // no caller handle escaped: recycle on fire
 }
 
 // Cancel prevents the event from firing and removes it from the event heap
 // immediately, so mass-cancel workloads (retransmission timers) do not grow
 // the heap. Cancelling an already-fired or already-cancelled event is a
 // no-op.
+//
+//simlint:noalloc
 func (ev *Event) Cancel() {
 	if ev.index < 0 {
 		return
@@ -138,6 +142,8 @@ func (e *Engine) Trace(who, format string, args ...any) {
 
 // alloc takes an event node from the free list, or carves one from the
 // current bump-allocation chunk.
+//
+//simlint:noalloc
 func (e *Engine) alloc() *Event {
 	if n := len(e.free) - 1; n >= 0 {
 		ev := e.free[n]
@@ -146,7 +152,7 @@ func (e *Engine) alloc() *Event {
 		return ev
 	}
 	if len(e.chunk) == 0 {
-		e.chunk = make([]Event, 64)
+		e.chunk = make([]Event, 64) //simlint:allow noalloc amortized 64-node bump block; steady state serves from the free list
 	}
 	ev := &e.chunk[0]
 	e.chunk = e.chunk[1:]
@@ -156,12 +162,18 @@ func (e *Engine) alloc() *Event {
 }
 
 // recycle returns an owned node to the free list once it has fired.
+//
+//simlint:noalloc
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
-	e.free = append(e.free, ev)
+	ev.fnArg = nil
+	ev.arg = nil
+	e.free = append(e.free, ev) //simlint:allow noalloc amortized free-list growth; steady state reuses capacity
 }
 
 // schedule queues fn at now+after and returns the node.
+//
+//simlint:noalloc
 func (e *Engine) schedule(after Time, fn func(), owned bool) *Event {
 	if e.closed {
 		panic("sim: Schedule on closed engine")
@@ -186,6 +198,8 @@ func (e *Engine) schedule(after Time, fn func(), owned bool) *Event {
 // to Queues and release Resources.
 //
 // Prefer After when the handle is not needed: it recycles the event node.
+//
+//simlint:noalloc
 func (e *Engine) Schedule(after Time, fn func()) *Event {
 	return e.schedule(after, fn, false)
 }
@@ -193,12 +207,16 @@ func (e *Engine) Schedule(after Time, fn func()) *Event {
 // After is Schedule without the cancellation handle. The event node is
 // recycled through the engine's free list when it fires, so the
 // schedule→fire cycle allocates nothing.
+//
+//simlint:noalloc
 func (e *Engine) After(after Time, fn func()) {
 	e.schedule(after, fn, true)
 }
 
 // ScheduleAt is Schedule with an absolute timestamp, which must not be in
 // the past.
+//
+//simlint:noalloc
 func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) in the past (now %v)", at, e.now))
@@ -208,6 +226,8 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 
 // At is ScheduleAt without the cancellation handle; like After, the event
 // node is recycled when it fires.
+//
+//simlint:noalloc
 func (e *Engine) At(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: At(%v) in the past (now %v)", at, e.now))
@@ -215,11 +235,41 @@ func (e *Engine) At(at Time, fn func()) {
 	e.schedule(at-e.now, fn, true)
 }
 
+// AfterArg is After for an argument-carrying callback: fn(arg) runs at
+// now+after. Passing the state as an argument lets per-event hot paths reuse
+// one long-lived fn instead of capturing fresh state in a closure per event —
+// converting a pointer-shaped arg (a *Frame, say) to any does not allocate,
+// while building a capturing func literal does.
+//
+//simlint:noalloc
+func (e *Engine) AfterArg(after Time, fn func(any), arg any) {
+	ev := e.schedule(after, nil, true)
+	ev.fnArg = fn
+	ev.arg = arg
+}
+
+// AtArg is AfterArg with an absolute timestamp, which must not be in the
+// past. It is the zero-allocation form of At for per-frame delivery paths:
+// the callback is built once at wiring time and the frame rides along as the
+// argument.
+//
+//simlint:noalloc
+func (e *Engine) AtArg(at Time, fn func(any), arg any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: AtArg(%v) in the past (now %v)", at, e.now))
+	}
+	ev := e.schedule(at-e.now, nil, true)
+	ev.fnArg = fn
+	ev.arg = arg
+}
+
 // scheduleProc queues p's pre-bound dispatch event at now+after. Every
 // process owns exactly one dispatch node, reused in place across parks, so
 // the park→unpark cycle allocates nothing. A parked process has at most one
 // dispatch pending by construction; a second one would dispatch into a
 // running process and deadlock the rendezvous, so it is a fatal bug.
+//
+//simlint:noalloc
 func (e *Engine) scheduleProc(p *Proc, after Time) {
 	if e.closed {
 		panic("sim: Schedule on closed engine")
@@ -239,8 +289,10 @@ func (e *Engine) scheduleProc(p *Proc, after Time) {
 }
 
 // push inserts ev into the 4-ary heap.
+//
+//simlint:noalloc
 func (e *Engine) push(ev *Event) {
-	e.heap = append(e.heap, ev)
+	e.heap = append(e.heap, ev) //simlint:allow noalloc amortized heap growth; steady state reuses capacity
 	e.siftUp(len(e.heap)-1, ev)
 }
 
@@ -326,15 +378,17 @@ func (e *Engine) removeAt(i int) {
 // Run executes events until none remain or Stop is called. It returns the
 // first process failure, if any. Processes still blocked when the event heap
 // drains simply remain parked; use Close to unwind them.
+//
+//simlint:noalloc
 func (e *Engine) Run() error {
 	if e.closed {
-		return fmt.Errorf("sim: Run on closed engine")
+		return fmt.Errorf("sim: Run on closed engine") //simlint:allow noalloc fatal misuse path; the run never starts
 	}
 	e.stopped = false
 	for !e.stopped && len(e.heap) > 0 && e.err == nil {
 		ev := e.popMin()
 		if ev.at < e.now {
-			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now)
+			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now) //simlint:allow noalloc fatal corruption path; the run aborts
 		}
 		e.now = ev.at
 		e.live--
@@ -343,11 +397,15 @@ func (e *Engine) Run() error {
 			e.dispatch(p)
 			continue
 		}
-		fn := ev.fn
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
 		if ev.owned {
 			e.recycle(ev)
 		}
-		fn()
+		if fn != nil {
+			fn() //simlint:allow noalloc the callback's allocations are charged to whoever scheduled it, not to the fire path
+		} else {
+			fnArg(arg) //simlint:allow noalloc the callback's allocations are charged to whoever scheduled it, not to the fire path
+		}
 	}
 	return e.err
 }
@@ -411,7 +469,6 @@ func (e *Engine) Close() {
 	// spawn or wake others (completions only schedule events), so the
 	// snapshot stays complete.
 	live := make([]*Proc, 0, len(e.procs))
-	//simlint:allow maporder the snapshot is sorted by proc id below; iteration order cannot leak
 	for q := range e.procs {
 		live = append(live, q)
 	}
@@ -433,6 +490,8 @@ func (e *Engine) Close() {
 
 // dispatch hands control to p and blocks until p yields back. It is the only
 // way process code ever runs.
+//
+//simlint:noalloc
 func (e *Engine) dispatch(p *Proc) {
 	prev := e.current
 	e.current = p

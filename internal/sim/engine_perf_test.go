@@ -96,6 +96,60 @@ func TestScheduleFireZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestAtArgFireZeroAlloc(t *testing.T) {
+	// The argument-carrying form must stay clean end to end: one long-lived
+	// callback, a pointer-shaped argument (interface conversion without
+	// boxing), and a recycled event node.
+	e := NewEngine()
+	defer e.Close()
+	type payload struct{ n int }
+	pl := &payload{}
+	fired := 0
+	deliver := func(v any) {
+		fired += v.(*payload).n
+	}
+	pl.n = 1
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AtArg(e.Now()+Microsecond, deliver, pl)
+		e.AfterArg(Microsecond, deliver, pl)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AtArg→fire cycle allocates %.1f objects/op, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("argument-carrying events never fired")
+	}
+}
+
+func TestAtArgDeliversArgument(t *testing.T) {
+	// Argument-carrying and closure events scheduled for the same instant
+	// share the (time, seq) total order, and each fnArg call sees its own
+	// argument even though the nodes recycle through the same free list.
+	e := NewEngine()
+	defer e.Close()
+	var got []int
+	rec := func(v any) { got = append(got, *v.(*int)) }
+	a, b := 1, 2
+	e.AtArg(Microsecond, rec, &a)
+	e.After(Microsecond, func() { got = append(got, 10) })
+	e.AfterArg(Microsecond, rec, &b)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 10, 2}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestSleepResumeZeroAlloc(t *testing.T) {
 	// A parked process resumes through its pre-bound dispatch event; the
 	// sleep→resume cycle must not allocate either.

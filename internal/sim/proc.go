@@ -50,6 +50,8 @@ func (p *Proc) Done() *Completion {
 // park yields control to the engine without scheduling a wakeup. Something
 // else must eventually unpark the process (Completion.Fire, Queue.Put,
 // Resource.Release or Engine.Close).
+//
+//simlint:noalloc
 func (p *Proc) park() {
 	p.e.cParked.Inc()
 	p.yielded <- struct{}{} //simlint:allow nogoroutine proc-side yield of the coroutine rendezvous; hands control back to dispatch
@@ -60,6 +62,8 @@ func (p *Proc) park() {
 }
 
 // unpark schedules the process to resume at the current virtual time.
+//
+//simlint:noalloc
 func (p *Proc) unpark() {
 	p.e.scheduleProc(p, 0)
 }
@@ -67,6 +71,8 @@ func (p *Proc) unpark() {
 // Sleep blocks the process for d virtual time. Negative durations count as
 // zero (the process still yields, so co-scheduled events at the same
 // timestamp run in deterministic order).
+//
+//simlint:noalloc
 func (p *Proc) Sleep(d Time) {
 	p.e.scheduleProc(p, d)
 	p.park()
@@ -74,6 +80,8 @@ func (p *Proc) Sleep(d Time) {
 
 // SleepUntil blocks the process until virtual time t. If t is in the past
 // the process just yields once.
+//
+//simlint:noalloc
 func (p *Proc) SleepUntil(t Time) {
 	d := t - p.e.now
 	p.Sleep(d)
@@ -81,4 +89,6 @@ func (p *Proc) SleepUntil(t Time) {
 
 // Yield lets every other event and process scheduled at the current
 // timestamp run before the process continues.
+//
+//simlint:noalloc
 func (p *Proc) Yield() { p.Sleep(0) }

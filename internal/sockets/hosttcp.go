@@ -45,7 +45,7 @@ func DefaultHostTCPConfig() HostTCPConfig {
 		ChecksumCopyRate: 750 * sim.MBps,
 		IRQDelay:         sim.Micros(3.5),
 		AckCost:          sim.Micros(0.8),
-		PCIe:             pci.PCIeX8,
+		PCIe:             pci.PCIeX8(),
 	}
 }
 

@@ -33,7 +33,7 @@ type TOEConfig struct {
 // PCI-X bridge bounds bandwidth, but the host only pays syscalls and one
 // copy.
 func DefaultTOEConfig() TOEConfig {
-	bridge := pci.PCIX133
+	bridge := pci.PCIX133()
 	bridge.HalfDuplex = false
 	bridge.MaxPayload = 192
 	return TOEConfig{
@@ -42,7 +42,7 @@ func DefaultTOEConfig() TOEConfig {
 		NICPerPkt:       sim.Micros(1.6),
 		NICAckTime:      sim.Micros(0.15),
 		CompletionDelay: sim.Micros(1.0),
-		PCIe:            pci.PCIeX8,
+		PCIe:            pci.PCIeX8(),
 		Bridge:          bridge,
 	}
 }
