@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lintselftest race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck breakdowncheck tracetoolcheck clean
+.PHONY: all build test vet lint lintselftest race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck breakdowncheck tracetoolcheck simdcheck clean
 
 all: verify
 
@@ -93,6 +93,16 @@ breakdowncheck:
 	/tmp/repro-figures -only breakdown -scale 2 -j 1 > /tmp/repro-breakdown-j1.txt
 	/tmp/repro-figures -only breakdown -scale 2 -j 8 > /tmp/repro-breakdown-j8.txt
 	cmp /tmp/repro-breakdown-j1.txt /tmp/repro-breakdown-j8.txt
+
+# simdcheck exercises the simulation-as-a-service job server end to end over
+# real loopback HTTP: boot the server against a throwaway cache, submit a
+# small spec twice — the second with scrambled field order and whitespace —
+# and require the repeat to be served from the cache byte-identically
+# (store counters: exactly one miss, one hit), then cancel a queued job and
+# prove the job ahead of it is unaffected. See docs/simd.md.
+simdcheck:
+	$(GO) build -o /tmp/repro-simd ./cmd/simd
+	/tmp/repro-simd -check
 
 # tracetoolcheck exercises the offline tracing pipeline end to end: capture
 # JSONL traces from netbench, reconstruct the causal DAG, and run every

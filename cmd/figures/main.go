@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	figures [-only figN] [-csv DIR] [-scale N] [-j N]
+//	figures [-only figN] [-csv DIR] [-scale N] [-j N] [-list]
 //
 // -scale thins the parameter sweeps (2 = every other point) for quick runs;
 // the default reproduces the full sweeps. -j sets how many experiment worlds
 // run concurrently (default GOMAXPROCS); every world is an independent
-// simulation, so the output is byte-identical at any -j.
+// simulation, so the output is byte-identical at any -j. -list prints the
+// experiment catalogue as JSON and exits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +26,23 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (fig1..fig8, appx, faults, ext, topo, breakdown)")
+	only := flag.String("only", "", "run a single experiment ("+core.IDList()+")")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	scale := flag.Int("scale", 1, "sweep thinning factor (1 = full paper sweeps)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds (1 = sequential)")
 	progress := flag.Bool("progress", false, "print live world-completion and ETA lines to stderr (stdout is unaffected)")
+	list := flag.Bool("list", false, "print the experiment catalogue as JSON and exit")
 	flag.Parse()
+
+	if *list {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(core.Catalogue()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	parallel.SetJobs(*jobs)
 	if *progress {
@@ -38,7 +51,7 @@ func main() {
 
 	if *only != "" {
 		if _, ok := core.Find(*only); !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: fig1..fig8, appx, faults, ext, topo, breakdown\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *only, core.IDList())
 			os.Exit(2)
 		}
 	}

@@ -1,0 +1,67 @@
+// Command simd runs the simulation-as-a-service job server: an HTTP/JSON
+// API that accepts experiment specs, executes them on the shared worker
+// pool, and serves results from a content-addressed cache keyed on
+// (canonical spec hash, seed, code version). Repeated submissions of the
+// same spec are answered from disk, byte-identically, without scheduling a
+// single simulation world. See docs/simd.md for the API and spec format.
+//
+// Usage:
+//
+//	simd [-addr HOST:PORT] [-cache DIR] [-j N] [-check]
+//
+// -j sets how many simulation worlds of the active job run concurrently
+// (default GOMAXPROCS); jobs themselves run one at a time, each fanning its
+// worlds across the whole pool. -check runs the end-to-end self-check that
+// `make simdcheck` uses (throwaway cache, loopback port) and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+
+	"repro/internal/parallel"
+	"repro/internal/simd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	cache := flag.String("cache", defaultCacheDir(), "result cache and job journal directory")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation worlds per job (1 = sequential)")
+	check := flag.Bool("check", false, "run the end-to-end self-check and exit")
+	flag.Parse()
+
+	parallel.SetJobs(*jobs)
+
+	if *check {
+		if err := simd.SelfCheck(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "simdcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv, err := simd.New(simd.Options{CacheDir: *cache})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv.Start()
+	fmt.Fprintf(os.Stderr, "simd: listening on %s, cache in %s, %d workers\n",
+		*addr, *cache, parallel.Jobs())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// defaultCacheDir places the cache under the user cache root when known,
+// else beside the working directory.
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return dir + "/repro-simd"
+	}
+	return ".simd-cache"
+}

@@ -288,6 +288,40 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// CatalogueEntry is the machine-readable description of one experiment:
+// everything about it except the Run function. `figures -list` prints the
+// catalogue as JSON and the simd job server serves it on /catalogue, so
+// clients discover valid experiment IDs instead of hardcoding them.
+type CatalogueEntry struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Paper string `json:"paper"`
+}
+
+// Catalogue returns the experiment catalogue in the paper's order.
+func Catalogue() []CatalogueEntry {
+	es := Experiments()
+	out := make([]CatalogueEntry, len(es))
+	for i, e := range es {
+		out[i] = CatalogueEntry{ID: e.ID, Title: e.Title, Paper: e.Paper}
+	}
+	return out
+}
+
+// IDs returns every experiment ID in catalogue order.
+func IDs() []string {
+	es := Experiments()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// IDList renders the valid experiment IDs for flag help and error messages,
+// so the list can never drift from the catalogue.
+func IDList() string { return strings.Join(IDs(), ", ") }
+
 // OnExperiment, when non-nil, is called by RunAll before each experiment
 // starts, with the experiment and its position in the run. cmd/figures
 // -progress uses it for stderr progress lines; it must not write to the
@@ -308,15 +342,36 @@ func RunAll(w io.Writer, only string, csvDir string, scale int) error {
 		if OnExperiment != nil {
 			OnExperiment(e, i, len(todo))
 		}
-		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
-		fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
-		for _, fig := range e.Run(scale) {
-			fmt.Fprintln(w, fig.Table())
-			if csvDir != "" {
+		var onFigure func(fig bench.Figure) error
+		if csvDir != "" {
+			onFigure = func(fig bench.Figure) error {
 				path := filepath.Join(csvDir, fig.ID+".csv")
 				if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
 					return fmt.Errorf("writing %s: %w", path, err)
 				}
+				return nil
+			}
+		}
+		if err := RunExperiment(w, e, scale, onFigure); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunExperiment runs one experiment, writing its text tables to w in the
+// same format RunAll uses. onFigure, when non-nil, is called with every
+// rendered figure (in order) after its table is written — RunAll uses it to
+// emit CSV files, the simd job server to collect CSV payloads for the
+// result cache. A non-nil error from onFigure aborts the run.
+func RunExperiment(w io.Writer, e Experiment, scale int, onFigure func(fig bench.Figure) error) error {
+	fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+	fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+	for _, fig := range e.Run(scale) {
+		fmt.Fprintln(w, fig.Table())
+		if onFigure != nil {
+			if err := onFigure(fig); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func TestExperimentCatalogue(t *testing.T) {
@@ -41,6 +45,57 @@ func TestExperimentCatalogue(t *testing.T) {
 	}
 	if _, ok := Find("fig99"); ok {
 		t.Error("Find(fig99) found something")
+	}
+}
+
+func TestCatalogueMatchesExperiments(t *testing.T) {
+	exps := Experiments()
+	cat := Catalogue()
+	ids := IDs()
+	if len(cat) != len(exps) || len(ids) != len(exps) {
+		t.Fatalf("catalogue %d, ids %d, experiments %d", len(cat), len(ids), len(exps))
+	}
+	for i, e := range exps {
+		if cat[i].ID != e.ID || cat[i].Title != e.Title || cat[i].Paper != e.Paper {
+			t.Errorf("catalogue[%d] = %+v does not match experiment %q", i, cat[i], e.ID)
+		}
+		if ids[i] != e.ID {
+			t.Errorf("ids[%d] = %q, want %q", i, ids[i], e.ID)
+		}
+	}
+	list := IDList()
+	for _, id := range ids {
+		if !strings.Contains(list, id) {
+			t.Errorf("IDList() missing %q: %s", id, list)
+		}
+	}
+}
+
+func TestRunExperimentCollectsFigures(t *testing.T) {
+	e, ok := Find("fig1")
+	if !ok {
+		t.Fatal("fig1 missing")
+	}
+	var sb strings.Builder
+	var ids []string
+	if err := RunExperiment(&sb, e, 8, func(fig bench.Figure) error {
+		ids = append(ids, fig.ID)
+		if fig.CSV() == "" {
+			t.Errorf("figure %q has empty CSV", fig.ID)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "fig1-latency" || ids[1] != "fig1-bandwidth" {
+		t.Errorf("collected figures %v", ids)
+	}
+	if !strings.Contains(sb.String(), "==== fig1:") {
+		t.Errorf("table output missing header:\n%s", sb.String())
+	}
+	wantErr := errors.New("stop")
+	if err := RunExperiment(io.Discard, e, 8, func(bench.Figure) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("onFigure error not propagated: %v", err)
 	}
 }
 

@@ -17,13 +17,8 @@ const ModulePath = "repro"
 // here and only here; support packages (trace, metrics, stats, logp, core,
 // pci) synchronize or sort internally and are exempt.
 //
-// internal/parallel is deliberately NOT in this list: it is the experiment
-// runner's bounded worker pool, the one sanctioned place where goroutines
-// run simulation worlds concurrently. Its safety argument is structural —
-// each pooled task owns a complete world (engine, RNG, metrics) and results
-// land in pre-indexed slots — rather than per-line, so it carries a
-// scope-level exemption here instead of //simlint:allow directives. The
-// packages above it (bench, core) stay in scope: they may *submit* work to
+// The packages in ConcurrencyExempt are deliberately NOT in this list; the
+// packages above them (bench, core) stay in scope: they may *submit* work to
 // the pool but still must not spawn goroutines or consult wall clocks
 // themselves. See docs/performance.md.
 var SimDomain = []string{
@@ -40,6 +35,52 @@ var SimDomain = []string{
 	"internal/sockets",
 	"internal/cluster",
 	"internal/bench",
+}
+
+// ConcurrencyExempt records, explicitly, the packages allowed to use
+// ordinary concurrent Go (goroutines, channels, wall clocks) even though
+// they sit next to the simulation domain. They are outside SimDomain, so
+// none of the determinism analyzers run on them; this list exists so the
+// exemption is a reviewed decision with a written safety argument rather
+// than an accident of omission.
+//
+//   - internal/parallel is the experiment runner's bounded worker pool, the
+//     one sanctioned place where goroutines run simulation worlds
+//     concurrently. Its safety argument is structural — each pooled task
+//     owns a complete world (engine, RNG, metrics) and results land in
+//     pre-indexed slots — rather than per-line, so it carries a scope-level
+//     exemption here instead of //simlint:allow directives.
+//   - internal/simd is the job server for simulation-as-a-service: an HTTP
+//     listener, a queue, and an on-disk result cache are wall-clock,
+//     goroutine-ridden territory by nature. It touches simulation state
+//     only by running whole specs through internal/core and internal/bench,
+//     exactly like cmd/figures, and its cache is sound precisely because
+//     those layers stay deterministic.
+//   - internal/simd/spec is pure spec parsing and hashing; it is listed
+//     with its parent so the exemption boundary is the whole subtree.
+//
+// cmd/simd is NOT exempt: like every cmd/ package it is linted for
+// nogoroutine and maporder, which is what keeps the binary a thin flag
+// wrapper around internal/simd.
+var ConcurrencyExempt = []string{
+	"internal/parallel",
+	"internal/simd",
+	"internal/simd/spec",
+}
+
+// IsConcurrencyExempt reports whether the package carries the scope-level
+// concurrency exemption recorded in ConcurrencyExempt.
+func IsConcurrencyExempt(importPath string) bool {
+	p, ok := rel(importPath)
+	if !ok {
+		return false
+	}
+	for _, d := range ConcurrencyExempt {
+		if p == d {
+			return true
+		}
+	}
+	return false
 }
 
 // ModelPackages lists the packages (module-relative) that model simulated

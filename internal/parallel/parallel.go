@@ -52,6 +52,9 @@ func Jobs() int { return int(jobs.Load()) }
 // world cannot take down the whole sweep — or the process — before the
 // remaining worlds finish.
 //
+// When the active progress scope (see BeginScope) has been cancelled, For
+// returns ErrCanceled without running any task.
+//
 // For must not be called from inside a task: nesting would multiply the
 // worker count past the -j bound. Drivers parallelize at exactly one level
 // (the per-world cell), and the figure catalogue above them stays
@@ -61,6 +64,10 @@ func For(n int, fn func(i int) error) error {
 		return nil
 	}
 	poolMu.Lock()
+	if !batchStart() {
+		poolMu.Unlock()
+		return ErrCanceled
+	}
 	pool.batches++
 	poolMu.Unlock()
 	var done int // completed tasks of this batch, guarded by poolMu

@@ -94,6 +94,79 @@ func TestForRecoversPanics(t *testing.T) {
 	}
 }
 
+// withProgress installs fn as the global progress hook for the duration of
+// f, restoring the previous (nil) hook.
+func withProgress(t *testing.T, fn func(done, total int), f func()) {
+	t.Helper()
+	SetProgress(fn)
+	defer SetProgress(nil)
+	f()
+}
+
+func TestProgressFiresOnTaskErrors(t *testing.T) {
+	// The progress hook must see every task completion, failed tasks
+	// included: the simd job server streams these counts to clients, and a
+	// job with one bad cell must still report total/total at the end.
+	for _, jobs := range []int{1, 4} {
+		withJobs(t, jobs, func() {
+			const n = 12
+			var dones []int
+			withProgress(t, func(done, total int) {
+				if total != n {
+					t.Errorf("jobs=%d: progress total = %d, want %d", jobs, total, n)
+				}
+				dones = append(dones, done) // serialized under the pool lock
+			}, func() {
+				err := For(n, func(i int) error {
+					if i%3 == 0 {
+						return fmt.Errorf("task %d failed", i)
+					}
+					return nil
+				})
+				if err == nil || err.Error() != "task 0 failed" {
+					t.Fatalf("jobs=%d: got %v, want task 0's error", jobs, err)
+				}
+			})
+			if len(dones) != n {
+				t.Fatalf("jobs=%d: progress fired %d times, want %d", jobs, len(dones), n)
+			}
+			for k, d := range dones {
+				if d != k+1 {
+					t.Fatalf("jobs=%d: progress done sequence %v not monotone 1..%d", jobs, dones, n)
+				}
+			}
+		})
+	}
+}
+
+func TestProgressFiresOnTaskPanics(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		withJobs(t, jobs, func() {
+			const n = 8
+			var fired int
+			var last int
+			withProgress(t, func(done, total int) {
+				fired++
+				last = done
+			}, func() {
+				err := For(n, func(i int) error {
+					if i == 1 || i == 6 {
+						panic("exploding world")
+					}
+					return nil
+				})
+				if err == nil {
+					t.Fatalf("jobs=%d: panic was swallowed", jobs)
+				}
+			})
+			if fired != n || last != n {
+				t.Fatalf("jobs=%d: progress fired %d times (last done %d), want %d completions ending at %d",
+					jobs, fired, last, n, n)
+			}
+		})
+	}
+}
+
 func TestForEmptyAndNegative(t *testing.T) {
 	if err := For(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatalf("For(0) = %v", err)

@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Per-job progress scoping. The pool is a process-wide singleton, but the
+// simd job server runs many jobs over its lifetime and each job wants its
+// own progress stream and its own cancellation switch. A Scope delimits one
+// job's batches: while a scope is active, every task completion also fires
+// the scope's hook, the scope accounts tasks and batches separately from
+// the pool's lifetime counters, and cancelling the scope makes subsequent
+// For calls fail fast with ErrCanceled.
+//
+// Scopes do not nest and do not run concurrently — the job runner
+// serializes jobs precisely because one job's worlds already fan out across
+// every pool worker. BeginScope while another scope is active is an error,
+// not a stack push.
+//
+// Cancellation is deliberately batch-granular: a batch that has started
+// always runs every task (the pool's every-task-runs contract is what makes
+// -j 1 and -j N equivalent), so Cancel takes effect at the next For call.
+// Jobs built from many batches (the figure sweeps) stop at the next batch
+// boundary; single-batch jobs finish their batch.
+
+// ErrCanceled is returned by For when the active scope was cancelled before
+// the batch started. No task of that batch runs.
+var ErrCanceled = errors.New("parallel: canceled")
+
+// ScopeStats is one scope's accounting.
+type ScopeStats struct {
+	// Tasks counts task completions within the scope (failed and panicked
+	// tasks included — they completed, unsuccessfully).
+	Tasks int64
+	// Batches counts For calls that started (were not cancelled) within
+	// the scope.
+	Batches int64
+}
+
+// Scope is one active progress scope; see BeginScope.
+type Scope struct {
+	// All fields are guarded by poolMu.
+	fn             func(done, total int)
+	canceled       bool
+	tasks, batches int64
+}
+
+// BeginScope activates a progress scope: until End, every task completion
+// calls fn(done, total) with the current batch's progress, in addition to
+// the global SetProgress hook. fn runs under the pool's stats lock on
+// whichever worker finished the task — keep it fast and non-blocking. fn
+// may be nil to scope only the accounting and cancellation. BeginScope
+// fails if another scope is active.
+func BeginScope(fn func(done, total int)) (*Scope, error) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if pool.scope != nil {
+		return nil, fmt.Errorf("parallel: a progress scope is already active")
+	}
+	s := &Scope{fn: fn}
+	pool.scope = s
+	return s, nil
+}
+
+// End deactivates the scope. Ending a scope that is no longer active is a
+// no-op, so defer s.End() composes with early returns.
+func (s *Scope) End() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if pool.scope == s {
+		pool.scope = nil
+	}
+}
+
+// Cancel makes subsequent For calls return ErrCanceled immediately while
+// this scope is active. A batch already in flight finishes all its tasks.
+func (s *Scope) Cancel() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	s.canceled = true
+}
+
+// Canceled reports whether Cancel was called.
+func (s *Scope) Canceled() bool {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return s.canceled
+}
+
+// Stats returns the scope's accounting so far.
+func (s *Scope) Stats() ScopeStats {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return ScopeStats{Tasks: s.tasks, Batches: s.batches}
+}
+
+// batchStart records a For call against the active scope and reports
+// whether the batch may run (called with poolMu held).
+func batchStart() bool {
+	if pool.scope == nil {
+		return true
+	}
+	if pool.scope.canceled {
+		return false
+	}
+	pool.scope.batches++
+	return true
+}
+
+// scopeTaskDone folds one finished task into the active scope and fires its
+// hook (called with poolMu held).
+func scopeTaskDone(done, total int) {
+	if pool.scope == nil {
+		return
+	}
+	pool.scope.tasks++
+	if pool.scope.fn != nil {
+		pool.scope.fn(done, total)
+	}
+}

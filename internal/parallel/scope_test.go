@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScopeProgressAndStats(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		withJobs(t, jobs, func() {
+			var scoped, global int
+			SetProgress(func(done, total int) { global++ })
+			defer SetProgress(nil)
+			s, err := BeginScope(func(done, total int) { scoped++ })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.End()
+			if err := For(5, func(int) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if err := For(3, func(int) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Tasks != 8 || st.Batches != 2 {
+				t.Fatalf("jobs=%d: scope stats %+v, want 8 tasks / 2 batches", jobs, st)
+			}
+			if scoped != 8 {
+				t.Fatalf("jobs=%d: scope hook fired %d times, want 8", jobs, scoped)
+			}
+			// The global hook fires alongside the scope, not instead of it.
+			if global != 8 {
+				t.Fatalf("jobs=%d: global hook fired %d times, want 8", jobs, global)
+			}
+			s.End()
+			if err := For(2, func(int) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Stats().Tasks; got != 8 {
+				t.Fatalf("ended scope counted post-End tasks: %d", got)
+			}
+		})
+	}
+}
+
+func TestScopeCountsFailedAndPanickedTasks(t *testing.T) {
+	withJobs(t, 4, func() {
+		s, err := BeginScope(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.End()
+		_ = For(6, func(i int) error {
+			switch i {
+			case 0:
+				return errors.New("boom")
+			case 3:
+				panic("explode")
+			}
+			return nil
+		})
+		if st := s.Stats(); st.Tasks != 6 {
+			t.Fatalf("scope stats %+v, want all 6 tasks counted despite error and panic", st)
+		}
+	})
+}
+
+func TestScopeDoesNotNest(t *testing.T) {
+	s, err := BeginScope(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.End()
+	if _, err := BeginScope(nil); err == nil {
+		t.Fatal("nested BeginScope succeeded")
+	}
+}
+
+func TestScopeCancelFailsFast(t *testing.T) {
+	withJobs(t, 4, func() {
+		s, err := BeginScope(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.End()
+		if err := For(4, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		s.Cancel()
+		if !s.Canceled() {
+			t.Fatal("Canceled() false after Cancel")
+		}
+		ran := false
+		if err := For(4, func(int) error { ran = true; return nil }); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("For after Cancel = %v, want ErrCanceled", err)
+		}
+		if ran {
+			t.Fatal("task ran after cancellation")
+		}
+		if st := s.Stats(); st.Tasks != 4 || st.Batches != 1 {
+			t.Fatalf("cancelled batch leaked into stats: %+v", st)
+		}
+		// Ending the cancelled scope restores the pool for the next job.
+		s.End()
+		if err := For(2, func(int) error { return nil }); err != nil {
+			t.Fatalf("For after End = %v", err)
+		}
+	})
+}

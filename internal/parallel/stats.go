@@ -44,6 +44,7 @@ var pool struct {
 	queueHWM       int64
 	hist           *metrics.Histogram
 	progress       func(done, total int)
+	scope          *Scope
 }
 
 func poolHist() *metrics.Histogram {
@@ -73,6 +74,7 @@ func taskDone(worker int, d time.Duration, done, total int) {
 	if pool.progress != nil {
 		pool.progress(done, total)
 	}
+	scopeTaskDone(done, total)
 }
 
 // SetProgress installs a hook called after every task completion with the

@@ -1,0 +1,197 @@
+// Package simd is the simulation-as-a-service layer: a long-running
+// HTTP/JSON job server that accepts experiment specs (internal/simd/spec),
+// runs them on the internal/parallel worker pool, and serves results from a
+// content-addressed on-disk cache keyed on (canonical spec hash, seed, code
+// version).
+//
+// The cache is sound because the simulator is deterministic: the same
+// canonical spec on the same code version produces byte-identical output
+// (the property the -j1 == -jN identity checks and simlint enforce), so a
+// result computed once is the result, forever. A repeated submission is
+// answered from disk without scheduling a single simulation world — the
+// microsecond path that lets one server answer the same question for
+// millions of users.
+//
+// The package is ordinary concurrent Go (goroutines, wall clocks, an HTTP
+// listener) and is deliberately OUTSIDE the simlint determinism scope; see
+// internal/lint/scope. It touches simulation state only by submitting whole
+// worlds to internal/parallel, exactly like cmd/figures does.
+package simd
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// storeMagic versions the entry framing. The header carries the payload
+// length and SHA-256, so a truncated or bit-flipped entry — a crashed
+// writer, a torn disk — reads as a cache miss, never as a wrong result.
+const storeMagic = "simd1"
+
+// Store is the content-addressed result cache: one file per key under
+// dir/objects, written atomically (temp file + rename) so concurrent
+// readers only ever observe complete entries.
+type Store struct {
+	dir                   string
+	hits, misses, corrupt atomic.Int64
+
+	// seqMu serializes the durable job-sequence counter (dir/seq).
+	seqMu sync.Mutex
+}
+
+// StoreStats is a snapshot of the cache counters.
+type StoreStats struct {
+	// Hits and Misses count Get outcomes (the submission path: one Get
+	// per job submission). Result reads via Read are not counted.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Corrupt counts entries rejected by the integrity check; each also
+	// counted as a miss.
+	Corrupt int64 `json:"corrupt"`
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("simd: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(key string) string {
+	// Two-level fan-out keeps directories small at millions of entries.
+	return filepath.Join(st.dir, "objects", key[:2], key[2:])
+}
+
+// Get returns the cached payload for key, counting the lookup as a hit or
+// miss. A missing, truncated or corrupted entry is a miss.
+func (st *Store) Get(key string) ([]byte, bool) {
+	b, ok := st.read(key)
+	if ok {
+		st.hits.Add(1)
+	} else {
+		st.misses.Add(1)
+	}
+	return b, ok
+}
+
+// Read returns the cached payload for key without touching the hit/miss
+// counters — the result-download path, which would otherwise count every
+// poll of a finished job as a fresh cache hit.
+func (st *Store) Read(key string) ([]byte, bool) { return st.read(key) }
+
+func (st *Store) read(key string) ([]byte, bool) {
+	if len(key) < 3 {
+		return nil, false
+	}
+	raw, err := os.ReadFile(st.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := decodeEntry(raw)
+	if err != nil {
+		st.corrupt.Add(1)
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores payload under key atomically. Concurrent writers racing on one
+// key are benign: determinism guarantees they carry identical bytes, and
+// rename makes whichever lands last a complete entry.
+func (st *Store) Put(key string, payload []byte) error {
+	if len(key) < 3 {
+		return fmt.Errorf("simd: bad store key %q", key)
+	}
+	path := st.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("simd: store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("simd: store put: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encodeEntry(payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("simd: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("simd: store put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("simd: store put: %w", err)
+	}
+	return nil
+}
+
+// Stats returns the cache counters.
+func (st *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:    st.hits.Load(),
+		Misses:  st.misses.Load(),
+		Corrupt: st.corrupt.Load(),
+	}
+}
+
+// NextSeq durably increments and returns the job sequence counter, so job
+// IDs stay unique and monotone across server restarts.
+func (st *Store) NextSeq() (uint64, error) {
+	st.seqMu.Lock()
+	defer st.seqMu.Unlock()
+	path := filepath.Join(st.dir, "seq")
+	var seq uint64
+	if b, err := os.ReadFile(path); err == nil {
+		if n, err := strconv.ParseUint(string(bytes.TrimSpace(b)), 10, 64); err == nil {
+			seq = n
+		}
+	}
+	seq++
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(seq, 10)), 0o644); err != nil {
+		return 0, fmt.Errorf("simd: job sequence: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("simd: job sequence: %w", err)
+	}
+	return seq, nil
+}
+
+// encodeEntry frames a payload as "simd1 <len> <sha256hex>\n" + payload.
+func encodeEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %d %s\n", storeMagic, len(payload), hex.EncodeToString(sum[:]))
+	return append([]byte(header), payload...)
+}
+
+// decodeEntry verifies the frame and returns the payload.
+func decodeEntry(raw []byte) ([]byte, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("simd: store entry missing header")
+	}
+	var magic, sumHex string
+	var n int
+	if _, err := fmt.Sscanf(string(raw[:nl]), "%s %d %s", &magic, &n, &sumHex); err != nil || magic != storeMagic {
+		return nil, fmt.Errorf("simd: bad store header")
+	}
+	payload := raw[nl+1:]
+	if len(payload) != n {
+		return nil, fmt.Errorf("simd: store entry truncated: %d of %d bytes", len(payload), n)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, fmt.Errorf("simd: store entry checksum mismatch")
+	}
+	return payload, nil
+}

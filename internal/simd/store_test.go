@@ -1,0 +1,188 @@
+package simd
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) string { return fmt.Sprintf("%064x", i+1) }
+
+func TestStoreRoundTripAndCounters(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	if _, ok := st.Get(key); ok {
+		t.Fatal("Get on empty store returned a payload")
+	}
+	payload := []byte(`{"hello":"world"}`)
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	// Read serves the same bytes without moving the counters.
+	if got, ok := st.Read(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Read = %q, %v", got, ok)
+	}
+	stats := st.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1 corrupt=0", stats)
+	}
+}
+
+// A truncated entry — a writer that died mid-write before the atomic rename
+// discipline existed, or a torn disk — must read as a cache miss, never as
+// a crash or a wrong payload, and a fresh Put must repair it.
+func TestStoreTruncatedEntryIsAMiss(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	payload := []byte(`{"n":12345,"big":"` + string(bytes.Repeat([]byte("x"), 256)) + `"}`)
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(st.Dir(), "objects", key[:2], key[2:])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(raw) - 1, len(raw) / 2, 10, 0} {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := st.Get(key); ok {
+			t.Fatalf("truncated to %d bytes: Get returned %q, want miss", cut, got)
+		}
+	}
+	stats := st.Stats()
+	if stats.Misses != 4 || stats.Corrupt != 4 {
+		t.Fatalf("stats = %+v, want misses=4 corrupt=4", stats)
+	}
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("after repair Get = %q, %v", got, ok)
+	}
+}
+
+func TestStoreChecksumMismatchIsAMiss(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	if err := st.Put(key, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(st.Dir(), "objects", key[:2], key[2:])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01 // flip a payload bit; length still matches
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Get(key); ok {
+		t.Fatalf("bit-flipped entry: Get returned %q, want miss", got)
+	}
+	if stats := st.Stats(); stats.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want corrupt=1", stats)
+	}
+}
+
+func TestStoreGarbageHeaderIsAMiss(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	path := filepath.Join(st.Dir(), "objects", key[:2], key[2:])
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not a store entry at all\njunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(key); ok {
+		t.Fatal("garbage entry served as a hit")
+	}
+}
+
+// Concurrent readers and writers on overlapping keys: every successful Get
+// must return the complete payload for its key (atomic rename means no torn
+// reads), and nothing may race (run under -race).
+func TestStoreConcurrentReadWrite(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 8
+	const workers = 4
+	payload := func(k int) []byte {
+		return bytes.Repeat([]byte{byte('a' + k)}, 512)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				k := (w + iter) % keys
+				if err := st.Put(testKey(k), payload(k)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := st.Get(testKey(k)); ok && !bytes.Equal(got, payload(k)) {
+					t.Errorf("torn read on key %d: %d bytes", k, len(got))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if stats := st.Stats(); stats.Corrupt != 0 {
+		t.Fatalf("concurrent Put/Get produced corrupt reads: %+v", stats)
+	}
+}
+
+func TestNextSeqMonotoneAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 3; i++ {
+		seq, err := st.NextSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq <= last {
+			t.Fatalf("seq %d not monotone after %d", seq, last)
+		}
+		last = seq
+	}
+	st2, err := OpenStore(dir) // simulated restart
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := st2.NextSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= last {
+		t.Fatalf("seq %d did not survive reopen (last %d)", seq, last)
+	}
+}

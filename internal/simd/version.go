@@ -1,0 +1,38 @@
+package simd
+
+import "runtime/debug"
+
+// Version returns the code-version component of the cache key, from the
+// build info the Go linker stamps into the binary: the VCS revision when
+// the binary was built from a checkout (plus a dirty marker for modified
+// trees), else the module version. A cached result is only valid for the
+// exact code that produced it, so any change of revision invalidates the
+// whole cache by construction — no eviction logic needed.
+//
+// Binaries without VCS stamping (go run, test binaries) report "(devel)";
+// a deployment that wants exact invalidation builds with VCS info or
+// overrides Options.Version.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	if bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
