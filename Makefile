@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lintselftest race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck breakdowncheck tracetoolcheck simdcheck clean
+.PHONY: all build test vet lint lintselftest race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck pdescheck breakdowncheck tracetoolcheck simdcheck clean
 
 all: verify
 
@@ -84,6 +84,17 @@ topocheck:
 	/tmp/repro-figures -only topo -scale 2 -j 1 > /tmp/repro-topo-j1.txt
 	/tmp/repro-figures -only topo -scale 2 -j 8 > /tmp/repro-topo-j8.txt
 	cmp /tmp/repro-topo-j1.txt /tmp/repro-topo-j8.txt
+
+# pdescheck gates the conservative parallel (sharded) runtime: the topo
+# family run serially and with every world split across 8 shard engines
+# must emit byte-identical tables, and the sharded binary is built with
+# -race so the barrier protocol's happens-before claims are machine-checked
+# on every CI run, not just argued in comments.
+pdescheck:
+	$(GO) build -race -o /tmp/repro-figures-race ./cmd/figures
+	/tmp/repro-figures-race -only topo -scale 2 -j 1 -shards 1 > /tmp/repro-topo-s1.txt
+	/tmp/repro-figures-race -only topo -scale 2 -j 1 -shards 8 > /tmp/repro-topo-s8.txt
+	cmp /tmp/repro-topo-s1.txt /tmp/repro-topo-s8.txt
 
 # breakdowncheck covers the latency-attribution family: causal tracing and
 # blame run inside every breakdown world, so a serial and a parallel run of

@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	figures [-only figN] [-csv DIR] [-scale N] [-j N] [-list]
+//	figures [-only figN] [-csv DIR] [-scale N] [-j N] [-shards N] [-list]
 //
 // -scale thins the parameter sweeps (2 = every other point) for quick runs;
 // the default reproduces the full sweeps. -j sets how many experiment worlds
 // run concurrently (default GOMAXPROCS); every world is an independent
-// simulation, so the output is byte-identical at any -j. -list prints the
-// experiment catalogue as JSON and exits.
+// simulation, so the output is byte-identical at any -j. -shards splits each
+// world of the shard-aware families (fig1, topo, faults) across N engines
+// via the conservative parallel runtime (internal/pdes); output is
+// byte-identical at any -shards >= 1, while the default 0 keeps the legacy
+// single-engine worlds. -list prints the experiment catalogue as JSON and
+// exits.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/parallel"
 )
@@ -30,6 +35,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	scale := flag.Int("scale", 1, "sweep thinning factor (1 = full paper sweeps)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds (1 = sequential)")
+	shards := flag.Int("shards", 0, "engines per world for shard-aware families (0 = legacy single-engine worlds; output is identical at any value >= 1)")
 	progress := flag.Bool("progress", false, "print live world-completion and ETA lines to stderr (stdout is unaffected)")
 	list := flag.Bool("list", false, "print the experiment catalogue as JSON and exit")
 	flag.Parse()
@@ -45,6 +51,8 @@ func main() {
 	}
 
 	parallel.SetJobs(*jobs)
+	bench.SetShards(*shards)
+	parallel.SetWorldShards(*shards)
 	if *progress {
 		installProgress()
 	}
@@ -90,7 +98,13 @@ func installProgress() {
 			return
 		}
 		line := fmt.Sprintf("  %d/%d worlds", done, total)
+		if s := parallel.WorldShards(); s > 0 {
+			line = fmt.Sprintf("  %d/%d worlds (x%d shards)", done, total, s)
+		}
 		if done > 1 && done < total {
+			// The observed per-world rate already folds in however many
+			// cores each sharded world actually used, so the ETA needs no
+			// shard-count correction — it is labeled above instead.
 			perWorld := time.Since(batchStart) / time.Duration(done-1)
 			line += fmt.Sprintf(", eta %s", (perWorld * time.Duration(total-done)).Round(time.Second))
 		}

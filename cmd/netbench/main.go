@@ -41,9 +41,20 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "dump the metrics registry as JSON to stdout after the test")
 	faultsFile := flag.String("faults", "", "apply a fault scenario (JSON, see docs/faults.md) to every testbed the test builds")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds for tests that build several")
+	shards := flag.Int("shards", 0, "engines per world for shard-aware tests (0 = legacy single-engine worlds)")
 	flag.Parse()
 
 	parallel.SetJobs(*jobs)
+	if *shards >= 1 {
+		// Per-shard engines keep per-shard traces and registries; the
+		// single-engine dump below would silently miss the other shards'
+		// events, so refuse the combination instead of lying.
+		if *traceFile != "" || *traceJSONL != "" || *metricsFlag {
+			fmt.Fprintln(os.Stderr, "netbench: -trace/-tracejsonl/-metrics cannot dump a sharded world; drop -shards or the observability flags")
+			os.Exit(2)
+		}
+		bench.SetShards(*shards)
+	}
 
 	kind, ok := parseKind(*netName)
 	if !ok {

@@ -138,14 +138,18 @@ func HotspotLatency(kind cluster.Kind, senders, n, iters int) sim.Time {
 // faults.Scenario.ShiftedBy — the verbs worlds consume virtual time
 // setting up their QP mesh).
 func hotspotLatency(kind cluster.Kind, senders, n, iters int, sc *faults.Scenario) sim.Time {
-	tb, w := mpi.DefaultWorld(kind, senders+1)
+	tb := cluster.NewWithOptions(kind, senders+1, shardOpts())
+	w := mpi.NewWorld(tb, mpi.ConfigFor(kind))
 	defer tb.Close()
 	tb.MustApplyFaults(sc.ShiftedBy(tb.Eng.Now()))
-	var total sim.Time
+	// Per-sender slots, not one shared accumulator: sender procs may run on
+	// different shard engines, and the slot indexed by rank keeps the sum
+	// below independent of execution interleaving.
+	perSender := make([]sim.Time, senders+1)
 	for r := 1; r <= senders; r++ {
 		r := r
 		p := w.Rank(r)
-		tb.Eng.Go(fmt.Sprintf("sender%d", r), func(pr *sim.Proc) {
+		tb.Go(r, fmt.Sprintf("sender%d", r), func(pr *sim.Proc) {
 			buf := p.Host().Mem.Alloc(max(n, 1))
 			buf.Fill(byte(r))
 			p.Barrier(pr)
@@ -154,10 +158,10 @@ func hotspotLatency(kind cluster.Kind, senders, n, iters int, sc *faults.Scenari
 				p.Send(pr, 0, r, buf, 0, n)
 				p.Recv(pr, 0, r, buf, 0, n)
 			}
-			total += (p.Wtime(pr) - start) / sim.Time(2*iters)
+			perSender[r] = (p.Wtime(pr) - start) / sim.Time(2*iters)
 		})
 	}
-	tb.Eng.Go("root", func(pr *sim.Proc) {
+	tb.Go(0, "root", func(pr *sim.Proc) {
 		p := w.Rank(0)
 		buf := p.Host().Mem.Alloc(max(n, 1))
 		p.Barrier(pr)
@@ -167,6 +171,10 @@ func hotspotLatency(kind cluster.Kind, senders, n, iters int, sc *faults.Scenari
 		}
 	})
 	mustRun(tb)
+	var total sim.Time
+	for _, t := range perSender {
+		total += t
+	}
 	return total / sim.Time(senders)
 }
 

@@ -27,7 +27,7 @@ import (
 // faultedUserLatency is the Fig. 1 iWARP user-level ping-pong on a testbed
 // degraded by sc (nil = clean).
 func faultedUserLatency(size, iters int, sc *faults.Scenario) sim.Time {
-	tb := cluster.New(cluster.IWARP, 2)
+	tb := cluster.NewWithOptions(cluster.IWARP, 2, shardOpts())
 	defer tb.Close()
 	tb.MustApplyFaults(sc)
 	return VerbsUserLatencyOn(tb, size, iters)
@@ -37,7 +37,7 @@ func faultedUserLatency(size, iters int, sc *faults.Scenario) sim.Time {
 // degraded iWARP world. The scenario attaches before the MPI world builds
 // its QP mesh, exactly where the old cluster.OnNew hook applied it.
 func faultedUniBandwidth(size, iters int, sc *faults.Scenario) float64 {
-	tb := cluster.New(cluster.IWARP, 2)
+	tb := cluster.NewWithOptions(cluster.IWARP, 2, shardOpts())
 	tb.MustApplyFaults(sc)
 	w := mpi.NewWorld(tb, mpi.ConfigFor(cluster.IWARP))
 	return uniBandwidthOn(tb, w, size, iters)
@@ -161,11 +161,12 @@ func FaultsFlapRecovery(durations []sim.Time) Figure {
 // windows re-anchored at the workload start, so flap timestamps mean "into
 // the stream" regardless of how much virtual time QP setup consumed.
 func streamElapsed(kind cluster.Kind, msgs, size int, sc *faults.Scenario) sim.Time {
-	tb, w := mpi.DefaultWorld(kind, 2)
+	tb := cluster.NewWithOptions(kind, 2, shardOpts())
+	w := mpi.NewWorld(tb, mpi.ConfigFor(kind))
 	defer tb.Close()
 	tb.MustApplyFaults(sc.ShiftedBy(tb.Eng.Now()))
 	var elapsed sim.Time
-	tb.Eng.Go("sender", func(pr *sim.Proc) {
+	tb.Go(0, "sender", func(pr *sim.Proc) {
 		p := w.Rank(0)
 		buf := p.Host().Mem.Alloc(size)
 		buf.Fill(1)
@@ -177,7 +178,7 @@ func streamElapsed(kind cluster.Kind, msgs, size int, sc *faults.Scenario) sim.T
 		p.Recv(pr, 1, 2, buf, 0, 0)
 		elapsed = p.Wtime(pr) - start
 	})
-	tb.Eng.Go("receiver", func(pr *sim.Proc) {
+	tb.Go(1, "receiver", func(pr *sim.Proc) {
 		p := w.Rank(1)
 		buf := p.Host().Mem.Alloc(size)
 		p.Barrier(pr)

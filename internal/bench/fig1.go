@@ -21,7 +21,7 @@ func UserLatency(kind cluster.Kind, size, iters int) sim.Time {
 }
 
 func verbsUserLatency(kind cluster.Kind, size, iters int) sim.Time {
-	tb := cluster.New(kind, 2)
+	tb := cluster.NewWithOptions(kind, 2, shardOpts())
 	defer tb.Close()
 	return VerbsUserLatencyOn(tb, size, iters)
 }
@@ -46,7 +46,7 @@ func VerbsUserLatencyOn(tb *cluster.Testbed, size, iters int) sim.Time {
 
 	const warmup = 2
 	var rtt sim.Time
-	tb.Eng.Go("side-a", func(p *sim.Proc) {
+	tb.Go(0, "side-a", func(p *sim.Proc) {
 		var id uint64
 		for i := 0; i < warmup+iters; i++ {
 			if i == warmup {
@@ -59,7 +59,7 @@ func VerbsUserLatencyOn(tb *cluster.Testbed, size, iters int) sim.Time {
 		}
 		rtt += p.Now()
 	})
-	tb.Eng.Go("side-b", func(p *sim.Proc) {
+	tb.Go(1, "side-b", func(p *sim.Proc) {
 		var id uint64
 		for i := 0; i < warmup+iters; i++ {
 			waitPlaced(p, qb, size)
@@ -82,7 +82,7 @@ func waitPlaced(p *sim.Proc, qp verbs.QP, size int) {
 }
 
 func mxUserLatency(kind cluster.Kind, size, iters int) sim.Time {
-	tb := cluster.New(kind, 2)
+	tb := cluster.NewWithOptions(kind, 2, shardOpts())
 	defer tb.Close()
 	e0, e1 := tb.Hosts[0].MX, tb.Hosts[1].MX
 	bufA := tb.Hosts[0].Mem.Alloc(size)
@@ -91,7 +91,7 @@ func mxUserLatency(kind cluster.Kind, size, iters int) sim.Time {
 
 	const warmup = 2
 	var rtt sim.Time
-	tb.Eng.Go("side-a", func(p *sim.Proc) {
+	tb.Go(0, "side-a", func(p *sim.Proc) {
 		for i := 0; i < warmup+iters; i++ {
 			if i == warmup {
 				rtt = -p.Now()
@@ -102,7 +102,7 @@ func mxUserLatency(kind cluster.Kind, size, iters int) sim.Time {
 		}
 		rtt += p.Now()
 	})
-	tb.Eng.Go("side-b", func(p *sim.Proc) {
+	tb.Go(1, "side-b", func(p *sim.Proc) {
 		for i := 0; i < warmup+iters; i++ {
 			hr := e1.Irecv(p, 1, ^uint64(0), bufB, 0, size)
 			hr.Wait(p)

@@ -63,7 +63,7 @@ func uniBandwidth(kind cluster.Kind, size, iters int) float64 {
 func uniBandwidthOn(tb *cluster.Testbed, w *mpi.World, size, iters int) float64 {
 	defer tb.Close()
 	var elapsed sim.Time
-	tb.Eng.Go("sender", func(pr *sim.Proc) {
+	tb.Go(0, "sender", func(pr *sim.Proc) {
 		p := w.Rank(0)
 		buf := p.Host().Mem.Alloc(size)
 		buf.Fill(1)
@@ -83,7 +83,7 @@ func uniBandwidthOn(tb *cluster.Testbed, w *mpi.World, size, iters int) float64 
 		p.Recv(pr, 1, 2, buf, 0, 0) // final ack
 		elapsed = p.Wtime(pr) - start
 	})
-	tb.Eng.Go("receiver", func(pr *sim.Proc) {
+	tb.Go(1, "receiver", func(pr *sim.Proc) {
 		p := w.Rank(1)
 		buf := p.Host().Mem.Alloc(size)
 		reqs := make([]*mpi.Request, fig4Window)

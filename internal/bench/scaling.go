@@ -61,7 +61,9 @@ func scalingConfig(kind cluster.Kind) mpi.Config {
 
 // scalingWorld builds an n-node world with the lean profile.
 func scalingWorld(kind cluster.Kind, nodes int, opts ScaleOpts) (*cluster.Testbed, *mpi.World) {
-	tb := cluster.NewWithOptions(kind, nodes, cluster.Options{Topology: opts.Topology})
+	opt := shardOpts()
+	opt.Topology = opts.Topology
+	tb := cluster.NewWithOptions(kind, nodes, opt)
 	return tb, mpi.NewWorld(tb, scalingConfig(kind))
 }
 
@@ -81,7 +83,7 @@ func collectiveScale(kind cluster.Kind, nodes, iters int, opts ScaleOpts,
 	for r := 0; r < nodes; r++ {
 		r := r
 		p := w.Rank(r)
-		tb.Eng.Go(fmt.Sprintf("rank%d", r), func(pr *sim.Proc) {
+		tb.Go(r, fmt.Sprintf("rank%d", r), func(pr *sim.Proc) {
 			iter := kernel(p, pr)
 			iter(pr) // warmup: wires lazy pairs, off the measured path
 			p.Barrier(pr)

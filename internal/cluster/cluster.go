@@ -19,6 +19,7 @@ import (
 	"repro/internal/iwarp"
 	"repro/internal/mem"
 	"repro/internal/mx"
+	"repro/internal/pdes"
 	"repro/internal/sim"
 	"repro/internal/verbs"
 )
@@ -148,12 +149,47 @@ func (h *Host) PollDetect() sim.Time {
 	return 0
 }
 
-// Testbed is an assembled cluster on one network.
+// Testbed is an assembled cluster on one network. Eng is the primary
+// engine; in a sharded testbed (Options.Shards >= 1) it is shard 0's engine
+// and every host's own events run on EngOf(host index).
 type Testbed struct {
 	Eng    *sim.Engine
 	Kind   Kind
 	Fabric *fabric.Network
 	Hosts  []*Host
+
+	// engs and shardOf are nil for a legacy (unsharded) testbed; rt is the
+	// conservative parallel runtime driving the shard engines.
+	engs    []*sim.Engine
+	shardOf []int
+	rt      *pdes.Runtime
+}
+
+// Shards returns the effective shard count (0 for a legacy testbed, which
+// runs one engine directly; a sharded testbed always reports >= 1 — even a
+// single shard runs the full epoch protocol so its output and final clock
+// are byte-identical to any larger shard count).
+func (tb *Testbed) Shards() int {
+	if tb.rt == nil {
+		return 0
+	}
+	return tb.rt.Shards()
+}
+
+// EngOf returns the engine that executes host i's events: the per-shard
+// engine in a sharded testbed, Eng otherwise. NIC processes, MPI ranks and
+// fault windows targeting host i all belong on this engine.
+func (tb *Testbed) EngOf(i int) *sim.Engine {
+	if tb.engs == nil {
+		return tb.Eng
+	}
+	return tb.engs[tb.shardOf[i]]
+}
+
+// Go spawns a process on host i's engine — the shard-aware replacement for
+// tb.Eng.Go in benchmark drivers.
+func (tb *Testbed) Go(i int, name string, fn func(p *sim.Proc)) *sim.Proc {
+	return tb.EngOf(i).Go(name, fn)
 }
 
 // New builds a testbed of `nodes` hosts on the given network, with its own
@@ -174,6 +210,19 @@ type Options struct {
 	// multi-switch leaf–spine fabric (see fabric.NewWithTopology). Host i
 	// attaches to leaf i/HostsPerLeaf.
 	Topology *fabric.TopologySpec
+
+	// Shards, when >= 1, runs the world under the conservative parallel
+	// runtime (internal/pdes): hosts are partitioned across that many
+	// shard engines (whole leaves in a topology, round-robin on a single
+	// switch) and the fabric switches to staged arrival-order forwarding
+	// (see fabric/sharding.go). Output is byte-identical at any Shards
+	// value >= 1; Shards 0 keeps the legacy single-engine path, which is
+	// byte-identical to every committed result. The effective count is
+	// clamped to the partitionable units, and the verbs stacks (iWARP, IB)
+	// are pinned to one shard: their MPI binding wires QP state on the
+	// remote host synchronously, a zero-lookahead interaction the barrier
+	// protocol cannot license.
+	Shards int
 }
 
 // OnNew, when non-nil, is invoked with every freshly-built Testbed before it
@@ -183,38 +232,88 @@ type Options struct {
 // through every benchmark signature.
 var OnNew func(*Testbed)
 
+// effectiveShards clamps a requested shard count to what the world can
+// partition: whole leaves in a topology, hosts on a single switch, and
+// always 1 for the verbs stacks (see Options.Shards).
+func effectiveShards(kind Kind, nodes int, opts Options) int {
+	if opts.Shards < 1 {
+		return 0
+	}
+	if !kind.IsMX() {
+		return 1
+	}
+	units := nodes
+	if opts.Topology != nil {
+		units = (nodes + opts.Topology.HostsPerLeaf - 1) / opts.Topology.HostsPerLeaf
+	}
+	if fc := FabricConfig(kind); fc.Lookahead() <= 0 {
+		return 1
+	}
+	return min(opts.Shards, max(units, 1))
+}
+
 // NewWithOptions is New with per-NIC configuration overrides.
 func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
 	if nodes < 2 {
 		panic("cluster: need at least 2 nodes")
 	}
-	eng := sim.NewEngine()
+	shards := effectiveShards(kind, nodes, opts)
+	engs := []*sim.Engine{sim.NewEngine()}
+	for s := 1; s < shards; s++ {
+		engs = append(engs, sim.NewEngine())
+	}
+	eng := engs[0]
 	tb := &Testbed{Eng: eng, Kind: kind}
+	// shardOf maps host i (== its fabric port id) to its shard: whole
+	// leaves in a topology (the trunk lines belong to their leaf's shard),
+	// round-robin hosts on a single switch.
+	shardOf := make([]int, nodes)
+	for i := range shardOf {
+		if shards > 0 {
+			if opts.Topology != nil {
+				shardOf[i] = (i / opts.Topology.HostsPerLeaf) % shards
+			} else {
+				shardOf[i] = i % shards
+			}
+		}
+	}
+	engFor := func(i int) *sim.Engine { return engs[shardOf[i]] }
 	tb.Fabric = fabric.NewWithTopology(eng, FabricConfig(kind), opts.Topology)
 	for i := 0; i < nodes; i++ {
 		name := fmt.Sprintf("node%d", i)
-		h := &Host{Name: name, Mem: mem.NewMemory(eng, name)}
+		heng := engFor(i)
+		h := &Host{Name: name, Mem: mem.NewMemory(heng, name)}
 		switch kind {
 		case IWARP:
 			cfg := iwarp.DefaultConfig()
 			if opts.IWARP != nil {
 				cfg = *opts.IWARP
 			}
-			h.RNIC = iwarp.New(eng, name+"/ne010", h.Mem, tb.Fabric, cfg)
+			h.RNIC = iwarp.New(heng, name+"/ne010", h.Mem, tb.Fabric, cfg)
 		case IB:
 			cfg := ib.DefaultConfig()
 			if opts.IB != nil {
 				cfg = *opts.IB
 			}
-			h.HCA = ib.New(eng, name+"/mhea28", h.Mem, tb.Fabric, cfg)
+			h.HCA = ib.New(heng, name+"/mhea28", h.Mem, tb.Fabric, cfg)
 		case MXoM, MXoE:
 			cfg := MXConfig(kind)
 			if opts.MX != nil {
 				cfg = *opts.MX
 			}
-			h.MX = mx.NewEndpoint(eng, name+"/myri10g", h.Mem, tb.Fabric, cfg)
+			h.MX = mx.NewEndpoint(heng, name+"/myri10g", h.Mem, tb.Fabric, cfg)
 		}
 		tb.Hosts = append(tb.Hosts, h)
+	}
+	if shards > 0 {
+		tb.engs = engs
+		tb.shardOf = shardOf
+		tb.rt = pdes.New(engs, FabricConfig(kind).Lookahead())
+		var poster fabric.Poster
+		if shards > 1 {
+			poster = tb.rt
+		}
+		tb.Fabric.EnableStaged(engs, shardOf, poster)
 	}
 	if OnNew != nil {
 		OnNew(tb)
@@ -222,8 +321,16 @@ func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
 	return tb
 }
 
-// Close shuts the engine down, unwinding NIC processes.
-func (tb *Testbed) Close() { tb.Eng.Close() }
+// Close shuts the engine(s) down, unwinding NIC processes shard by shard.
+func (tb *Testbed) Close() {
+	if tb.engs == nil {
+		tb.Eng.Close()
+		return
+	}
+	for _, e := range tb.engs {
+		e.Close()
+	}
+}
 
 // ApplyFaults compiles a fault scenario against this testbed's fabric and
 // NICs (see internal/faults). Host i's NIC backs port i; MX endpoints have
@@ -268,8 +375,21 @@ func (tb *Testbed) ConnectQP(i, j int) (verbs.QP, verbs.QP) {
 	panic("cluster: ConnectQP on an MX testbed")
 }
 
-// Run drives the simulation until the event heap drains.
-func (tb *Testbed) Run() error { return tb.Eng.Run() }
+// Run drives the simulation until every shard's event heap drains — through
+// the conservative barrier protocol on a sharded testbed, directly on the
+// single engine otherwise.
+func (tb *Testbed) Run() error {
+	if tb.rt != nil {
+		return tb.rt.Run()
+	}
+	return tb.Eng.Run()
+}
 
-// RunFor drives the simulation for d virtual time.
-func (tb *Testbed) RunFor(d sim.Time) error { return tb.Eng.RunFor(d) }
+// RunFor drives the simulation for d virtual time. It is a legacy-testbed
+// facility (interactive harnesses); sharded testbeds run to completion.
+func (tb *Testbed) RunFor(d sim.Time) error {
+	if tb.rt != nil {
+		panic("cluster: RunFor on a sharded testbed")
+	}
+	return tb.Eng.RunFor(d)
+}

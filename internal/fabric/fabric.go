@@ -93,6 +93,11 @@ type line struct {
 	// the line runs at full configured rate with bit-identical arithmetic to
 	// a build without fault injection.
 	slow float64
+
+	// st is the line's staged-mode state (see sharding.go); nil unless the
+	// network runs under the conservative parallel runtime AND the line is
+	// shared between senders (switch->endpoint and trunk lines).
+	st *lineStage
 }
 
 // stall pushes the line's next-free time out to `until`, without accounting
@@ -145,6 +150,10 @@ type Port struct {
 	dn      line // switch -> endpoint
 	upTrack string
 	dnTrack string
+
+	// stagedSeq numbers this port's sends in staged mode: the per-source
+	// sequence that, with the port id, keys the deterministic drain order.
+	stagedSeq uint64
 }
 
 // ID returns the port's node ID.
@@ -175,6 +184,10 @@ type Network struct {
 
 	// topo is nil for the single-switch model; see topology.go.
 	topo *topology
+
+	// sh is nil unless the network runs in staged (sharded) mode; see
+	// sharding.go.
+	sh *sharding
 
 	cFrames, cWireBytes, cDelivered, cDropped *metrics.Counter
 	cTrunkFrames, cTrunkBytes                 *metrics.Counter
@@ -231,6 +244,9 @@ func (n *Network) Config() Config { return n.cfg }
 
 // Attach connects an endpoint and returns its port.
 func (n *Network) Attach(ep Endpoint) *Port {
+	if n.sh != nil {
+		panic(fmt.Sprintf("fabric %q: Attach after EnableStaged", n.cfg.Name))
+	}
 	id := NodeID(len(n.ports))
 	p := &Port{
 		net:     n,
@@ -257,11 +273,29 @@ func (n *Network) Port(id NodeID) *Port {
 	return n.ports[id]
 }
 
-// Delivered returns the count of frames delivered to endpoints.
-func (n *Network) Delivered() int64 { return n.delivered }
+// Delivered returns the count of frames delivered to endpoints (summed
+// across shards in staged mode).
+func (n *Network) Delivered() int64 {
+	total := n.delivered
+	if n.sh != nil {
+		for i := range n.sh.per {
+			total += n.sh.per[i].delivered
+		}
+	}
+	return total
+}
 
-// Dropped returns the count of frames dropped by DropFn.
-func (n *Network) Dropped() int64 { return n.dropped }
+// Dropped returns the count of frames dropped by DropFn (summed across
+// shards in staged mode).
+func (n *Network) Dropped() int64 {
+	total := n.dropped
+	if n.sh != nil {
+		for i := range n.sh.per {
+			total += n.sh.per[i].dropped
+		}
+	}
+	return total
+}
 
 // TxTime returns the wire occupancy of a frame with the given NIC-visible
 // size (fabric overhead included).
@@ -282,6 +316,9 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 	}
 	if int(f.Dst) < 0 || int(f.Dst) >= len(n.ports) {
 		panic(fmt.Sprintf("fabric %q: bad dst %d", n.cfg.Name, f.Dst))
+	}
+	if n.sh != nil {
+		return p.sendStaged(f)
 	}
 	now := n.eng.Now()
 	wire := f.Bytes + n.cfg.FrameOverhead
@@ -357,8 +394,16 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 //simlint:noalloc
 func (n *Network) deliver(v any) {
 	f := v.(*Frame)
-	n.delivered++
-	n.cDelivered.Inc()
+	if n.sh != nil {
+		// Staged mode: delivery runs on the destination's shard; count it
+		// there so no counter is shared across engines.
+		si := &n.sh.per[n.sh.shardOf[f.Dst]]
+		si.delivered++
+		si.cDelivered.Inc()
+	} else {
+		n.delivered++
+		n.cDelivered.Inc()
+	}
 	n.ports[f.Dst].ep.Deliver(f) //simlint:allow noalloc dynamic dispatch into the endpoint; its allocations belong to the NIC model, not the fabric
 }
 

@@ -24,11 +24,22 @@ type EngineStaller interface {
 const defaultCongestPeriod = 10 * sim.Microsecond
 
 // frameClause is one compiled frame-level clause (loss, burst-loss,
-// corrupt, drop-mode flap) with its private RNG and burst state.
+// corrupt, drop-mode flap) with its private RNG and burst state. On a
+// staged (sharded) network the filter runs concurrently on every shard,
+// so the single stream splits into one independent stream per SOURCE port
+// (rngs/bads, indexed by f.Src): frames from one port are always filtered
+// on that port's shard in its deterministic send order, which makes each
+// per-port draw sequence — and therefore the whole run — identical at any
+// shard count. Legacy (unstaged) networks keep the original global stream
+// so committed results stay byte-identical.
 type frameClause struct {
 	cl  Clause
 	rng *sim.RNG
 	bad bool // Gilbert–Elliott state: true while in the bursty bad state
+
+	// Staged mode only.
+	rngs []*sim.RNG
+	bads []bool
 }
 
 // activeAt reports whether the clause window covers virtual time t.
@@ -50,11 +61,24 @@ func (fc *frameClause) matches(f *fabric.Frame) bool {
 // DropFn chain link for frame-level clauses and the scheduled events that
 // drive link and NIC clauses.
 type Injector struct {
-	eng   *sim.Engine
-	net   *fabric.Network
-	sc    *Scenario
-	frame []*frameClause
+	eng    *sim.Engine
+	net    *fabric.Network
+	sc     *Scenario
+	frame  []*frameClause
+	staged bool
 
+	// per[s] is shard s's private accounting (one entry, on the world
+	// engine's registry, when the network is unstaged). Each entry is only
+	// touched from its own shard's goroutine; totals are summed at
+	// barriers, when no worker runs.
+	per []shardCtrs
+}
+
+// shardCtrs is one shard's fault accounting. The counters are registered
+// on the shard engine's registry under the legacy names; registries dedup
+// by name, so a single-shard world increments the very same instruments an
+// unstaged one does.
+type shardCtrs struct {
 	dropped, corrupted int64
 
 	cDropped, cCorrupted, cFlaps, cCongest, cNICStalls, cRateChanges *metrics.Counter
@@ -74,14 +98,19 @@ func Attach(net *fabric.Network, nics []EngineStaller, sc *Scenario) (*Injector,
 		return nil, err
 	}
 	eng := net.Engine()
-	inj := &Injector{eng: eng, net: net, sc: sc}
-	reg := eng.Metrics()
-	inj.cDropped = reg.Counter("faults.frames_dropped")
-	inj.cCorrupted = reg.Counter("faults.frames_corrupted")
-	inj.cFlaps = reg.Counter("faults.link_flaps")
-	inj.cCongest = reg.Counter("faults.congest_stalls")
-	inj.cNICStalls = reg.Counter("faults.nic_stalls")
-	inj.cRateChanges = reg.Counter("faults.rate_changes")
+	inj := &Injector{eng: eng, net: net, sc: sc, staged: net.Staged()}
+	inj.per = make([]shardCtrs, net.ShardCount())
+	for s := range inj.per {
+		reg := net.ShardEngine(s).Metrics()
+		inj.per[s] = shardCtrs{
+			cDropped:     reg.Counter("faults.frames_dropped"),
+			cCorrupted:   reg.Counter("faults.frames_corrupted"),
+			cFlaps:       reg.Counter("faults.link_flaps"),
+			cCongest:     reg.Counter("faults.congest_stalls"),
+			cNICStalls:   reg.Counter("faults.nic_stalls"),
+			cRateChanges: reg.Counter("faults.rate_changes"),
+		}
+	}
 
 	for i, cl := range sc.Clauses {
 		if err := inj.checkScope(i, cl, nics); err != nil {
@@ -89,10 +118,10 @@ func Attach(net *fabric.Network, nics []EngineStaller, sc *Scenario) (*Injector,
 		}
 		switch cl.Kind {
 		case KindLoss, KindBurstLoss, KindCorrupt:
-			inj.frame = append(inj.frame, &frameClause{cl: cl, rng: clauseRNG(sc.Seed, i)})
+			inj.frame = append(inj.frame, inj.compileFrame(cl, i))
 		case KindFlap:
 			if cl.Drop {
-				inj.frame = append(inj.frame, &frameClause{cl: cl, rng: clauseRNG(sc.Seed, i)})
+				inj.frame = append(inj.frame, inj.compileFrame(cl, i))
 			} else {
 				inj.scheduleFlap(cl)
 			}
@@ -122,6 +151,32 @@ func Attach(net *fabric.Network, nics []EngineStaller, sc *Scenario) (*Injector,
 // increment, so reordering unrelated clauses never correlates their draws.
 func clauseRNG(seed uint64, i int) *sim.RNG {
 	return sim.NewRNG(seed + 0x9E3779B97F4A7C15*uint64(i+1))
+}
+
+// portClauseRNG derives the staged-mode stream for (clause i, source port
+// p): the clause stream's seed further mixed with the port index through
+// SplitMix64's second mixing constant, keeping clause and port dimensions
+// independently decorrelated.
+func portClauseRNG(seed uint64, i, p int) *sim.RNG {
+	return sim.NewRNG(seed + 0x9E3779B97F4A7C15*uint64(i+1) + 0xBF58476D1CE4E5B9*uint64(p+1))
+}
+
+// compileFrame builds the compiled clause: a single global stream on an
+// unstaged network, per-source-port streams on a staged one (see the
+// frameClause doc for the determinism argument).
+func (inj *Injector) compileFrame(cl Clause, i int) *frameClause {
+	fc := &frameClause{cl: cl}
+	if !inj.staged {
+		fc.rng = clauseRNG(inj.sc.Seed, i)
+		return fc
+	}
+	nPorts := inj.net.Ports()
+	fc.rngs = make([]*sim.RNG, nPorts)
+	fc.bads = make([]bool, nPorts)
+	for p := range fc.rngs {
+		fc.rngs[p] = portClauseRNG(inj.sc.Seed, i, p)
+	}
+	return fc
 }
 
 // checkScope validates the clause's port references against the attached
@@ -202,6 +257,48 @@ func (inj *Injector) targetLinks(cl Clause) []linkCtl {
 	return links
 }
 
+// stagedTarget pairs a control surface with the shard whose engine owns
+// its state. Staged-mode window events must execute on the owning shard:
+// link stall/slowdown fields are read by that shard's event loop, and any
+// other engine touching them would race.
+type stagedTarget struct {
+	l     linkCtl
+	shard int
+}
+
+// stagedLinks is targetLinks plus ownership, for staged scheduling.
+func (inj *Injector) stagedLinks(cl Clause) []stagedTarget {
+	if cl.Leaf != -1 {
+		t := inj.net.Trunk(cl.Leaf, cl.Spine)
+		return []stagedTarget{{t, inj.net.TrunkShard(t)}}
+	}
+	ports := inj.targetPorts(cl.Port)
+	out := make([]stagedTarget, len(ports))
+	for i, p := range ports {
+		out[i] = stagedTarget{p, inj.net.ShardOf(p.ID())}
+	}
+	return out
+}
+
+// home picks the shard that carries a clause's marks (trace instants and
+// window counters) in staged mode: the named trunk's or port's owner, or
+// shard 0 for network-wide clauses. The choice only routes observability
+// to a stable engine — it does not affect simulated behavior — but fixing
+// it deterministically keeps every shard's event stream identical across
+// shard counts.
+func (inj *Injector) home(cl Clause) int {
+	if !inj.staged {
+		return 0
+	}
+	if cl.Leaf != -1 {
+		return inj.net.TrunkShard(inj.net.Trunk(cl.Leaf, cl.Spine))
+	}
+	if cl.Port != -1 {
+		return inj.net.ShardOf(fabric.NodeID(cl.Port))
+	}
+	return 0
+}
+
 // linkAttrs names the clause's target in trace instants: port for host
 // links, leaf+spine for trunks.
 func linkAttrs(cl Clause) []trace.Attr {
@@ -226,8 +323,20 @@ func (inj *Injector) startAt(d Duration) sim.Time {
 // until Until. Lossless fabrics see this as link-level flow control
 // holding the sender off; nothing is lost.
 func (inj *Injector) scheduleFlap(cl Clause) {
-	links := inj.targetLinks(cl)
 	until := cl.Until.T()
+	if inj.staged {
+		// One event per link, on the owning shard's engine.
+		start := inj.startAt(cl.From)
+		for _, st := range inj.stagedLinks(cl) {
+			l := st.l
+			inj.net.ShardEngine(st.shard).At(start, func() {
+				l.StallUp(until)
+				l.StallDown(until)
+			})
+		}
+		return
+	}
+	links := inj.targetLinks(cl)
 	inj.eng.At(inj.startAt(cl.From), func() {
 		for _, l := range links {
 			l.StallUp(until)
@@ -237,29 +346,57 @@ func (inj *Injector) scheduleFlap(cl Clause) {
 }
 
 // scheduleFlapMarks emits the link-down / link-up trace instants and the
-// flap counter for both flap modes.
+// flap counter for both flap modes, on the clause's home shard.
 func (inj *Injector) scheduleFlapMarks(cl Clause) {
 	attrs := linkAttrs(cl)
-	inj.eng.At(inj.startAt(cl.From), func() {
-		inj.cFlaps.Inc()
-		inj.eng.Trc().Instant("faults", "link-down", append(attrs, trace.Bool("drop", cl.Drop))...)
+	home := inj.home(cl)
+	eng, ctr := inj.net.ShardEngine(home), &inj.per[home]
+	eng.At(inj.startAt(cl.From), func() {
+		ctr.cFlaps.Inc()
+		eng.Trc().Instant("faults", "link-down", append(attrs, trace.Bool("drop", cl.Drop))...)
 	})
-	inj.eng.At(inj.startAt(cl.Until), func() {
-		inj.eng.Trc().Instant("faults", "link-up", attrs...)
+	eng.At(inj.startAt(cl.Until), func() {
+		eng.Trc().Instant("faults", "link-up", attrs...)
 	})
 }
 
 // scheduleRate degrades the target link(s) to cl.Rate of the configured
 // line rate at From and restores full rate at Until (when closed).
 func (inj *Injector) scheduleRate(cl Clause) {
-	links := inj.targetLinks(cl)
 	attrs := linkAttrs(cl)
 	factor := cl.Rate
+	if inj.staged {
+		// Slowdown writes land on each link's owning shard; the mark and
+		// counter land once, on the clause's home shard.
+		start, stop := inj.startAt(cl.From), inj.startAt(cl.Until)
+		for _, st := range inj.stagedLinks(cl) {
+			l := st.l
+			eng := inj.net.ShardEngine(st.shard)
+			eng.At(start, func() { l.SetSlowdown(factor) })
+			if cl.Until != 0 {
+				eng.At(stop, func() { l.SetSlowdown(1) })
+			}
+		}
+		home := inj.home(cl)
+		eng, ctr := inj.net.ShardEngine(home), &inj.per[home]
+		eng.At(start, func() {
+			ctr.cRateChanges.Inc()
+			eng.Trc().Instant("faults", "rate-degrade", append(attrs, trace.F64("factor", factor))...)
+		})
+		if cl.Until != 0 {
+			eng.At(stop, func() {
+				ctr.cRateChanges.Inc()
+				eng.Trc().Instant("faults", "rate-restore", attrs...)
+			})
+		}
+		return
+	}
+	links := inj.targetLinks(cl)
 	inj.eng.At(inj.startAt(cl.From), func() {
 		for _, l := range links {
 			l.SetSlowdown(factor)
 		}
-		inj.cRateChanges.Inc()
+		inj.per[0].cRateChanges.Inc()
 		inj.eng.Trc().Instant("faults", "rate-degrade", append(attrs, trace.F64("factor", factor))...)
 	})
 	if cl.Until != 0 {
@@ -267,7 +404,7 @@ func (inj *Injector) scheduleRate(cl Clause) {
 			for _, l := range links {
 				l.SetSlowdown(1)
 			}
-			inj.cRateChanges.Inc()
+			inj.per[0].cRateChanges.Inc()
 			inj.eng.Trc().Instant("faults", "rate-restore", attrs...)
 		})
 	}
@@ -278,20 +415,47 @@ func (inj *Injector) scheduleRate(cl Clause) {
 // backpressure signature of cross-traffic the simulation does not model
 // frame-by-frame.
 func (inj *Injector) scheduleCongest(cl Clause) {
-	ports := inj.targetPorts(cl.Port)
 	period := cl.Period.T()
 	if period == 0 {
 		period = defaultCongestPeriod
 	}
 	occupy := sim.Time(float64(period) * cl.Rate)
 	until := cl.Until.T()
+	if inj.staged {
+		// One independent tick chain per target port, on the port's owning
+		// shard (identical timestamps, so the stall pattern matches the
+		// unstaged single chain); the counter ticks once per port per
+		// period on the port's shard.
+		for _, p := range inj.targetPorts(cl.Port) {
+			p := p
+			shard := inj.net.ShardOf(p.ID())
+			eng, ctr := inj.net.ShardEngine(shard), &inj.per[shard]
+			var tick func()
+			tick = func() {
+				now := eng.Now()
+				p.StallDown(now + occupy)
+				ctr.cCongest.Inc()
+				if next := now + period; next < until {
+					eng.At(next, tick)
+				} else {
+					eng.Trc().Instant("faults", "congest-end", trace.I64("port", int64(p.ID())))
+				}
+			}
+			eng.At(inj.startAt(cl.From), func() {
+				eng.Trc().Instant("faults", "congest-begin", trace.I64("port", int64(p.ID())), trace.F64("share", cl.Rate))
+				tick()
+			})
+		}
+		return
+	}
+	ports := inj.targetPorts(cl.Port)
 	var tick func()
 	tick = func() {
 		now := inj.eng.Now()
 		for _, p := range ports {
 			p.StallDown(now + occupy)
 		}
-		inj.cCongest.Inc()
+		inj.per[0].cCongest.Inc()
 		if next := now + period; next < until {
 			inj.eng.At(next, tick)
 		} else {
@@ -307,6 +471,36 @@ func (inj *Injector) scheduleCongest(cl Clause) {
 // scheduleNICStall freezes the target NIC engine(s) for Stall every Period
 // during the window; with Period zero it fires exactly once at From.
 func (inj *Injector) scheduleNICStall(cl Clause, nics []EngineStaller) {
+	stall := cl.Stall.T()
+	period := cl.Period.T()
+	until := cl.Until.T()
+	if inj.staged {
+		// One chain per NIC on its host's shard: StallEngines mutates NIC
+		// model state the host's engine reads on every operation.
+		for i, s := range nics {
+			if s == nil || (cl.Port != -1 && i != cl.Port) {
+				continue
+			}
+			s := s
+			shard := inj.net.ShardOf(fabric.NodeID(i))
+			eng, ctr := inj.net.ShardEngine(shard), &inj.per[shard]
+			port := int64(i)
+			var tick func()
+			tick = func() {
+				s.StallEngines(stall)
+				ctr.cNICStalls.Inc()
+				eng.Trc().Instant("faults", "nic-stall", trace.I64("port", port), trace.I64("stall_ps", int64(stall)))
+				if period == 0 {
+					return
+				}
+				if next := eng.Now() + period; next < until {
+					eng.At(next, tick)
+				}
+			}
+			eng.At(inj.startAt(cl.From), tick)
+		}
+		return
+	}
 	var targets []EngineStaller
 	if cl.Port != -1 {
 		targets = []EngineStaller{nics[cl.Port]}
@@ -317,15 +511,12 @@ func (inj *Injector) scheduleNICStall(cl Clause, nics []EngineStaller) {
 			}
 		}
 	}
-	stall := cl.Stall.T()
-	period := cl.Period.T()
-	until := cl.Until.T()
 	var tick func()
 	tick = func() {
 		for _, s := range targets {
 			s.StallEngines(stall)
 		}
-		inj.cNICStalls.Inc()
+		inj.per[0].cNICStalls.Inc()
 		inj.eng.Trc().Instant("faults", "nic-stall", trace.I64("port", int64(cl.Port)), trace.I64("stall_ps", int64(stall)))
 		if period == 0 {
 			return
@@ -341,75 +532,101 @@ func (inj *Injector) scheduleNICStall(cl Clause, nics []EngineStaller) {
 // network's DropFn for every frame. Clauses run in scenario order; the
 // first drop wins (later clauses then see no frame, mirroring a real wire
 // where a frame lost upstream never reaches downstream impairments).
+// On a staged network the filter runs concurrently on every source shard's
+// goroutine; all state it touches there is keyed by f.Src (per-port RNG
+// streams, per-port burst state, the source shard's counters), which only
+// that shard's events reach.
 func (inj *Injector) filter(f *fabric.Frame) bool {
-	now := inj.eng.Now()
+	eng, shard := inj.eng, 0
+	if inj.staged {
+		shard = inj.net.ShardOf(f.Src)
+		eng = inj.net.ShardEngine(shard)
+	}
+	now := eng.Now()
 	for _, fc := range inj.frame {
 		if !fc.activeAt(now) || !fc.matches(f) {
 			continue
 		}
+		rng, bad := fc.rng, &fc.bad
+		if inj.staged {
+			rng, bad = fc.rngs[f.Src], &fc.bads[f.Src]
+		}
 		switch fc.cl.Kind {
 		case KindLoss:
-			if fc.rng.Float64() < fc.cl.Rate {
-				inj.drop(f, "loss")
+			if rng.Float64() < fc.cl.Rate {
+				inj.drop(eng, shard, f, "loss")
 				return true
 			}
 		case KindBurstLoss:
-			if fc.bad {
-				if fc.rng.Float64() < fc.cl.PGood {
-					fc.bad = false
+			if *bad {
+				if rng.Float64() < fc.cl.PGood {
+					*bad = false
 				}
 			} else {
-				if fc.rng.Float64() < fc.cl.PBad {
-					fc.bad = true
+				if rng.Float64() < fc.cl.PBad {
+					*bad = true
 				}
 			}
 			p := fc.cl.LossGood
-			if fc.bad {
+			if *bad {
 				p = fc.cl.LossBad
 			}
-			if p > 0 && fc.rng.Float64() < p {
-				inj.drop(f, "burst-loss")
+			if p > 0 && rng.Float64() < p {
+				inj.drop(eng, shard, f, "burst-loss")
 				return true
 			}
 		case KindCorrupt:
-			if !f.Corrupt && fc.rng.Float64() < fc.cl.Rate {
+			if !f.Corrupt && rng.Float64() < fc.cl.Rate {
 				f.Corrupt = true
-				inj.corrupted++
-				inj.cCorrupted.Inc()
-				if tr := inj.eng.Trc(); tr.Enabled() {
+				ctr := &inj.per[shard]
+				ctr.corrupted++
+				ctr.cCorrupted.Inc()
+				if tr := eng.Trc(); tr.Enabled() {
 					tr.Instant("faults", "corrupt", trace.I64("src", int64(f.Src)), trace.I64("dst", int64(f.Dst)), trace.I64("bytes", int64(f.Bytes)))
 				}
 			}
 		case KindFlap: // drop mode: the window check above is the fault
-			inj.drop(f, "flap-drop")
+			inj.drop(eng, shard, f, "flap-drop")
 			return true
 		}
 	}
 	return false
 }
 
-// drop accounts one injected frame loss.
-func (inj *Injector) drop(f *fabric.Frame, why string) {
-	inj.dropped++
-	inj.cDropped.Inc()
-	if tr := inj.eng.Trc(); tr.Enabled() {
+// drop accounts one injected frame loss against the filtering shard.
+func (inj *Injector) drop(eng *sim.Engine, shard int, f *fabric.Frame, why string) {
+	ctr := &inj.per[shard]
+	ctr.dropped++
+	ctr.cDropped.Inc()
+	if tr := eng.Trc(); tr.Enabled() {
 		tr.Instant("faults", "drop",
 			trace.Str("why", why), trace.I64("src", int64(f.Src)), trace.I64("dst", int64(f.Dst)), trace.I64("bytes", int64(f.Bytes)))
 	}
 }
 
-// Dropped returns the number of frames this injector has dropped.
+// Dropped returns the number of frames this injector has dropped, summed
+// over shards. Call it only while no shard is running (the usual spot is
+// after Run returns).
 func (inj *Injector) Dropped() int64 {
 	if inj == nil {
 		return 0
 	}
-	return inj.dropped
+	var n int64
+	for i := range inj.per {
+		n += inj.per[i].dropped
+	}
+	return n
 }
 
-// Corrupted returns the number of frames this injector has marked corrupt.
+// Corrupted returns the number of frames this injector has marked corrupt,
+// summed over shards (same caveat as Dropped).
 func (inj *Injector) Corrupted() int64 {
 	if inj == nil {
 		return 0
 	}
-	return inj.corrupted
+	var n int64
+	for i := range inj.per {
+		n += inj.per[i].corrupted
+	}
+	return n
 }

@@ -58,12 +58,22 @@ var SimDomain = []string{
 //     those layers stay deterministic.
 //   - internal/simd/spec is pure spec parsing and hashing; it is listed
 //     with its parent so the exemption boundary is the whole subtree.
+//   - internal/pdes is the conservative parallel runtime that drives the
+//     shard engines of ONE world on worker goroutines. Its safety argument
+//     is the barrier protocol, not thread-freedom: engines only run between
+//     barriers, each on exactly one goroutine per epoch with a channel
+//     rendezvous on both sides (so every cross-epoch access is ordered by
+//     happens-before), and cross-shard events are merged in the
+//     deterministic (time, source shard, sequence) key order rather than
+//     arrival order. The sharded fabric path it serves stays inside
+//     SimDomain (internal/fabric) and is linted normally.
 //
 // cmd/simd is NOT exempt: like every cmd/ package it is linted for
 // nogoroutine and maporder, which is what keeps the binary a thin flag
 // wrapper around internal/simd.
 var ConcurrencyExempt = []string{
 	"internal/parallel",
+	"internal/pdes",
 	"internal/simd",
 	"internal/simd/spec",
 }

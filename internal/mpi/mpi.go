@@ -174,13 +174,17 @@ type World struct {
 	tb    *cluster.Testbed
 	cfg   Config
 	procs []*Process
-	ins   worldInstruments
 	pairs int // verbs QP-pair-connected rank pairs (eager: all; lazy: on demand)
 }
 
 // worldInstruments aggregates the MPI-layer mechanisms the paper's figures
 // rest on, summed over all ranks. Queue-depth gauges track the job-wide
 // total via +1/-1 deltas, so their high-water mark is the global peak.
+// Each rank holds its own handle set, registered on its host's shard
+// engine's registry: metrics.Registry dedups by name, so on an unsharded
+// (or single-shard) world every rank shares the same instruments as before,
+// while sharded ranks count into their own shard's registry without a
+// cross-goroutine data race.
 type worldInstruments struct {
 	eager, rndv             *metrics.Counter
 	postedMatch, unexpSunk  *metrics.Counter
@@ -194,6 +198,7 @@ type Process struct {
 	rank  int
 	host  *cluster.Host
 	track string // trace track name, "mpi.rank<N>"
+	ins   worldInstruments
 
 	vb  *vbind
 	mxb *mxbind
@@ -230,21 +235,21 @@ type umsg struct {
 // to drain setup events.
 func NewWorld(tb *cluster.Testbed, cfg Config) *World {
 	w := &World{tb: tb, cfg: cfg}
-	reg := tb.Eng.Metrics()
 	// Walk-length histograms: entries traversed per matching attempt.
 	wb := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	w.ins = worldInstruments{
-		eager:       reg.Counter("mpi.eager_sends"),
-		rndv:        reg.Counter("mpi.rndv_sends"),
-		postedMatch: reg.Counter("mpi.posted_matches"),
-		unexpSunk:   reg.Counter("mpi.unexpected_matches"),
-		postedDepth: reg.Gauge("mpi.posted_queue_depth"),
-		unexpDepth:  reg.Gauge("mpi.unexpected_queue_depth"),
-		hPostedWalk: reg.Histogram("mpi.posted_walk_entries", wb),
-		hUnexpWalk:  reg.Histogram("mpi.unexpected_walk_entries", wb),
-	}
 	for i, h := range tb.Hosts {
 		p := &Process{world: w, rank: i, host: h, track: fmt.Sprintf("mpi.rank%d", i)}
+		reg := tb.EngOf(i).Metrics()
+		p.ins = worldInstruments{
+			eager:       reg.Counter("mpi.eager_sends"),
+			rndv:        reg.Counter("mpi.rndv_sends"),
+			postedMatch: reg.Counter("mpi.posted_matches"),
+			unexpSunk:   reg.Counter("mpi.unexpected_matches"),
+			postedDepth: reg.Gauge("mpi.posted_queue_depth"),
+			unexpDepth:  reg.Gauge("mpi.unexpected_queue_depth"),
+			hPostedWalk: reg.Histogram("mpi.posted_walk_entries", wb),
+			hUnexpWalk:  reg.Histogram("mpi.unexpected_walk_entries", wb),
+		}
 		if tb.Kind.IsMX() {
 			p.mxb = newMXBind(p)
 		} else {
@@ -265,7 +270,7 @@ func NewWorld(tb *cluster.Testbed, cfg Config) *World {
 		for _, p := range w.procs {
 			p.vb.prepost()
 		}
-		if err := tb.Eng.Run(); err != nil {
+		if err := tb.Run(); err != nil {
 			panic(fmt.Sprintf("mpi: init failed: %v", err))
 		}
 	}
@@ -424,7 +429,9 @@ func (p *Process) Barrier(pr *sim.Proc) {
 	}
 }
 
-func (p *Process) eng() *sim.Engine { return p.world.tb.Eng }
+// eng returns the engine that executes this rank's events: the host's
+// shard engine in a sharded testbed, the world engine otherwise.
+func (p *Process) eng() *sim.Engine { return p.world.tb.EngOf(p.rank) }
 
 func (p *Process) checkArgs(dst, tag, n int) {
 	p.checkRank(dst)
@@ -458,7 +465,7 @@ func (p *Process) progressUntil(pr *sim.Proc, cond func() bool) {
 // per-entry traversal cost, and removes and returns the match.
 func (p *Process) matchPosted(pr *sim.Proc, src, tag int) *Request {
 	cfg := p.world.cfg
-	ins := &p.world.ins
+	ins := &p.ins
 	sp := p.eng().Trc().Begin(p.track, "match.posted", trace.I64("depth", int64(len(p.posted))))
 	pr.Sleep(cfg.MatchBase)
 	walked := 0
@@ -484,7 +491,7 @@ func (p *Process) matchPosted(pr *sim.Proc, src, tag int) *Request {
 // wildcards), charging the per-entry cost, and removes and returns the match.
 func (p *Process) matchUnexpected(pr *sim.Proc, src, tag int) *umsg {
 	cfg := p.world.cfg
-	ins := &p.world.ins
+	ins := &p.ins
 	sp := p.eng().Trc().Begin(p.track, "match.unexpected", trace.I64("depth", int64(len(p.unexpected))))
 	walked := 0
 	for i, m := range p.unexpected {
@@ -507,13 +514,13 @@ func (p *Process) matchUnexpected(pr *sim.Proc, src, tag int) *umsg {
 
 // notePosted records the enqueue of a posted receive (gauge + trace sample).
 func (p *Process) notePosted() {
-	p.world.ins.postedDepth.Add(1)
+	p.ins.postedDepth.Add(1)
 	p.eng().Trc().Counter(p.track, "posted_depth", int64(len(p.posted)))
 }
 
 // noteUnexpected records the enqueue of an unexpected message.
 func (p *Process) noteUnexpected() {
-	p.world.ins.unexpDepth.Add(1)
+	p.ins.unexpDepth.Add(1)
 	p.eng().Trc().Counter(p.track, "unexpected_depth", int64(len(p.unexpected)))
 }
 

@@ -53,10 +53,10 @@ func (b *mxbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer
 	p := b.p
 	if n <= p.world.cfg.EagerThreshold {
 		p.EagerSends++
-		p.world.ins.eager.Inc()
+		p.ins.eager.Inc()
 	} else {
 		p.RndvSends++
-		p.world.ins.rndv.Inc()
+		p.ins.rndv.Inc()
 	}
 	bits := mxBits(p.rank, tag)
 	if sync {

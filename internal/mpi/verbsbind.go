@@ -284,7 +284,7 @@ func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer,
 	b.drain(pr)
 	if n <= p.world.cfg.EagerThreshold {
 		p.EagerSends++
-		p.world.ins.eager.Inc()
+		p.ins.eager.Inc()
 		p.eng().Trc().Instant(p.track, "send.eager",
 			trace.I64("dst", int64(dst)), trace.I64("tag", int64(tag)), trace.I64("bytes", int64(n)))
 		bb := b.getSendBounce(pr)
@@ -314,7 +314,7 @@ func (b *vbind) isend(pr *sim.Proc, req *Request, dst, tag int, buf *mem.Buffer,
 	// Rendezvous: stash the source buffer on the request and send the RTS;
 	// the CTS handler continues the protocol.
 	p.RndvSends++
-	p.world.ins.rndv.Inc()
+	p.ins.rndv.Inc()
 	p.eng().Trc().Instant(p.track, "send.rts",
 		trace.I64("dst", int64(dst)), trace.I64("tag", int64(tag)), trace.I64("bytes", int64(n)))
 	req.buf, req.off, req.n = buf, off, n

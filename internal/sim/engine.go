@@ -410,6 +410,55 @@ func (e *Engine) Run() error {
 	return e.err
 }
 
+// NextEventTime returns the timestamp of the earliest pending event, or
+// ok=false when the event heap is empty. It is the peek the conservative
+// parallel runtime (internal/pdes) uses to compute the global barrier.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+// RunBefore executes every event scheduled strictly before t, then advances
+// the clock to exactly t. Unlike RunUntil it schedules no stop event, so an
+// epoch-driven caller (internal/pdes steps each shard engine once per
+// barrier) pays nothing per call beyond the events themselves.
+//
+//simlint:noalloc
+func (e *Engine) RunBefore(t Time) error {
+	if e.closed {
+		return fmt.Errorf("sim: RunBefore on closed engine") //simlint:allow noalloc fatal misuse path; the run never starts
+	}
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 && e.err == nil && e.heap[0].at < t {
+		ev := e.popMin()
+		if ev.at < e.now {
+			return fmt.Errorf("sim: time went backwards: %v < %v", ev.at, e.now) //simlint:allow noalloc fatal corruption path; the run aborts
+		}
+		e.now = ev.at
+		e.live--
+		e.cEvents.Inc()
+		if p := ev.proc; p != nil {
+			e.dispatch(p)
+			continue
+		}
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+		if ev.owned {
+			e.recycle(ev)
+		}
+		if fn != nil {
+			fn() //simlint:allow noalloc the callback's allocations are charged to whoever scheduled it, not to the fire path
+		} else {
+			fnArg(arg) //simlint:allow noalloc the callback's allocations are charged to whoever scheduled it, not to the fire path
+		}
+	}
+	if e.err == nil && e.now < t {
+		e.now = t
+	}
+	return e.err
+}
+
 // RunFor runs the engine for at most d virtual time.
 func (e *Engine) RunFor(d Time) error { return e.RunUntil(e.now + d) }
 

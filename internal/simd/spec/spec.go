@@ -67,6 +67,13 @@ type Spec struct {
 	// Custom is a single-workload experiment. Mutually exclusive with
 	// Experiment.
 	Custom *Custom `json:"custom,omitempty"`
+	// Shards is an EXECUTION HINT, not part of the experiment: it asks the
+	// worker to split each world across this many engines via the
+	// conservative parallel runtime (internal/pdes), whose whole contract
+	// is byte-identical output at any shard count. Because the result
+	// cannot depend on it, Canonical zeroes it before marshalling — two
+	// submissions differing only in shards share one cache entry.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Custom is a single workload on one network stack.
@@ -124,6 +131,9 @@ func Parse(b []byte) (Spec, error) {
 // so that a spec with a field omitted and a spec with the default spelled
 // out canonicalize — and therefore hash — identically. It is idempotent.
 func (s *Spec) Normalize() error {
+	if s.Shards < 0 {
+		return fmt.Errorf("spec: shards %d out of range (>= 0)", s.Shards)
+	}
 	switch {
 	case s.Experiment != "" && s.Custom != nil:
 		return fmt.Errorf("spec: experiment %q and a custom workload are mutually exclusive", s.Experiment)
@@ -257,6 +267,10 @@ func (s Spec) Canonical() ([]byte, error) {
 	if err := c.Normalize(); err != nil {
 		return nil, err
 	}
+	// Execution hints never reach the canonical form: the staged runtime
+	// guarantees shard-count-independent results, so hashing the hint
+	// would split the cache across entries holding identical bytes.
+	c.Shards = 0
 	return json.Marshal(c)
 }
 

@@ -152,3 +152,37 @@ func TestKeySeparatesTuple(t *testing.T) {
 		t.Errorf("key length %d, want 64 hex chars", len(base))
 	}
 }
+
+// The shards field is an execution hint: the staged runtime guarantees
+// byte-identical results at any shard count, so the hint must never enter
+// the canonical form or split the cache.
+func TestShardsHintExcludedFromHash(t *testing.T) {
+	plain := mustHash(t, `{"custom":{"net":"mxoe","benchmark":"alltoall","ranks":8}}`)
+	for _, js := range []string{
+		`{"shards":1,"custom":{"net":"mxoe","benchmark":"alltoall","ranks":8}}`,
+		`{"shards":4,"custom":{"net":"mxoe","benchmark":"alltoall","ranks":8}}`,
+		`{"shards":8,"custom":{"net":"mxoe","benchmark":"alltoall","ranks":8}}`,
+	} {
+		if h := mustHash(t, js); h != plain {
+			t.Errorf("shards hint entered the hash: %s hashed %s, hint-free spec %s", js, h, plain)
+		}
+	}
+	// The canonical bytes themselves must not carry the hint either.
+	s, err := Parse([]byte(`{"shards":4,"experiment":"fig1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards != 4 {
+		t.Fatalf("Parse dropped the hint: shards = %d, want 4", s.Shards)
+	}
+	b, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "shards") {
+		t.Errorf("canonical form %s mentions shards", b)
+	}
+	if _, err := Parse([]byte(`{"shards":-1,"experiment":"fig1"}`)); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Errorf("negative shards accepted: %v", err)
+	}
+}
