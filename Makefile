@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lintselftest race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck pdescheck breakdowncheck tracetoolcheck simdcheck clean
+.PHONY: all build test vet lint lintselftest race traceguard verify figures calibrate bench benchsmoke jobscheck topocheck pdescheck congestioncheck breakdowncheck tracetoolcheck simdcheck clean
 
 all: verify
 
@@ -95,6 +95,18 @@ pdescheck:
 	/tmp/repro-figures-race -only topo -scale 2 -j 1 -shards 1 > /tmp/repro-topo-s1.txt
 	/tmp/repro-figures-race -only topo -scale 2 -j 1 -shards 8 > /tmp/repro-topo-s8.txt
 	cmp /tmp/repro-topo-s1.txt /tmp/repro-topo-s8.txt
+
+# congestioncheck gates the congestion-control family: bounded queues, ECN
+# echoes, DCQCN pacing, VL credits, uplink throttling and the background
+# aggressors all keep per-shard state, so the loaded figure grid run serially
+# and with every world split across 8 shard engines must emit byte-identical
+# tables — under -race, like pdescheck, so the merge paths are also
+# machine-checked for data races.
+congestioncheck:
+	$(GO) build -race -o /tmp/repro-figures-race ./cmd/figures
+	/tmp/repro-figures-race -only congestion -scale 2 -j 1 -shards 1 > /tmp/repro-congestion-s1.txt
+	/tmp/repro-figures-race -only congestion -scale 2 -j 1 -shards 8 > /tmp/repro-congestion-s8.txt
+	cmp /tmp/repro-congestion-s1.txt /tmp/repro-congestion-s8.txt
 
 # breakdowncheck covers the latency-attribution family: causal tracing and
 # blame run inside every breakdown world, so a serial and a parallel run of

@@ -9,6 +9,7 @@
 //	netbench -net mxom -test logp -size 1024
 //	netbench -net ib -test reuse -size 262144
 //	netbench -net mxoe -test queue -queue recv -depth 256 -size 16
+//	netbench -net iwarp -test alltoall -nodes 16 -ratio 4 -congested -bgload 0.3 -bgshape incast
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/congestion"
 	"repro/internal/faults"
 	"repro/internal/logp"
 	"repro/internal/parallel"
@@ -42,9 +44,30 @@ func main() {
 	faultsFile := flag.String("faults", "", "apply a fault scenario (JSON, see docs/faults.md) to every testbed the test builds")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment worlds for tests that build several")
 	shards := flag.Int("shards", 0, "engines per world for shard-aware tests (0 = legacy single-engine worlds)")
+	ratio := flag.Int("ratio", 0, "leaf-spine oversubscription ratio for -test alltoall (0 = single switch)")
+	congested := flag.Bool("congested", false, "arm the stack's congestion control and the fabric's bounded queues for -test alltoall")
+	bgload := flag.Float64("bgload", 0, "background-traffic load per source in (0, 1] for -test alltoall (0 = no aggressor)")
+	bgshape := flag.String("bgshape", "incast", "background-traffic shape: permutation | hotspot | incast | outcast")
+	bgseed := flag.Uint64("bgseed", bench.CongestionSeed, "background-traffic seed (same seed = same frame sequence)")
 	flag.Parse()
 
 	parallel.SetJobs(*jobs)
+	if *test != "alltoall" && (*bgload != 0 || *congested || *ratio != 0) {
+		fmt.Fprintln(os.Stderr, "netbench: -bgload, -congested and -ratio shape the loaded collective world; they only apply to -test alltoall")
+		os.Exit(2)
+	}
+	if *bgload < 0 || *bgload > 1 {
+		fmt.Fprintf(os.Stderr, "netbench: -bgload %v outside (0, 1]\n", *bgload)
+		os.Exit(2)
+	}
+	if *ratio < 0 {
+		fmt.Fprintf(os.Stderr, "netbench: -ratio %d is negative\n", *ratio)
+		os.Exit(2)
+	}
+	if *bgload == 0 && (*bgshape != "incast" || *bgseed != bench.CongestionSeed) {
+		fmt.Fprintln(os.Stderr, "netbench: -bgshape and -bgseed parameterize the aggressor; set -bgload > 0 to start one")
+		os.Exit(2)
+	}
 	if *shards >= 1 {
 		// Per-shard engines keep per-shard traces and registries; the
 		// single-engine dump below would silently miss the other shards'
@@ -58,7 +81,7 @@ func main() {
 
 	kind, ok := parseKind(*netName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		fmt.Fprintf(os.Stderr, "netbench: unknown network %q (iwarp, ib, mxom, mxoe)\n", *netName)
 		os.Exit(2)
 	}
 
@@ -112,7 +135,7 @@ func main() {
 		case "bothway":
 			m = bench.BothWay
 		default:
-			fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+			fmt.Fprintf(os.Stderr, "netbench: unknown bandwidth mode %q (uni, bidi, bothway)\n", *mode)
 			os.Exit(2)
 		}
 		bw := bench.MPIBandwidth(kind, m, *size, max(*iters/4, 2))
@@ -124,7 +147,7 @@ func main() {
 			fmt.Printf("%s %d connections, %d B: normalized latency %.3f us, throughput %.1f MB/s\n",
 				kind, *conns, *size, lat.Micros(), tput)
 		} else {
-			fmt.Fprintln(os.Stderr, "multiconn compares the two QP/verbs stacks (iwarp, ib)")
+			fmt.Fprintln(os.Stderr, "netbench: multiconn compares the two QP/verbs stacks (iwarp, ib)")
 			os.Exit(2)
 		}
 	case "logp":
@@ -144,7 +167,7 @@ func main() {
 			empty = bench.ReceiveQueueLatency(kind, *size, 0, *iters).Micros()
 			loaded = bench.ReceiveQueueLatency(kind, *size, *depth, *iters).Micros()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown queue %q\n", *queue)
+			fmt.Fprintf(os.Stderr, "netbench: unknown queue %q (unexpected, recv)\n", *queue)
 			os.Exit(2)
 		}
 		fmt.Printf("%s %s-queue effect, %d B, depth %d: %.2f us -> %.2f us (ratio %.2f)\n",
@@ -159,12 +182,22 @@ func main() {
 		lat := bench.HotspotLatency(kind, *nodes-1, *size, *iters)
 		fmt.Printf("%s hotspot with %d senders, %d B: %.2f us per sender\n", kind, *nodes-1, *size, lat.Micros())
 	case "alltoall":
-		at, err := bench.AlltoallTime(kind, *nodes, *size, max(*iters/4, 2))
+		shape, err := congestion.ParseShape(*bgshape)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "alltoall run failed: %v\n", err)
+			fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
+			os.Exit(2)
+		}
+		opts := bench.CongestionOpts(kind, *ratio, *congested, shape, *bgload, *bgseed)
+		res, err := bench.AlltoallScale(kind, *nodes, *size, max(*iters/4, 2), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: alltoall run failed: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s alltoall on %d nodes, %d B per pair: %.2f us\n", kind, *nodes, *size, at.Micros())
+		fmt.Printf("%s alltoall on %d nodes, %d B per pair: %.2f us\n", kind, *nodes, *size, res.Time.Micros())
+		if *congested || *bgload > 0 {
+			fmt.Printf("  fabric: %d tail drops, %d ECN marks, %d background frames (%s at load %.2f)\n",
+				res.TailDrops, res.ECNMarks, res.BgFrames, shape, *bgload)
+		}
 	case "sockets":
 		for _, stack := range bench.SocketStacks {
 			lat := bench.SocketLatency(stack, *size, *iters)
@@ -173,14 +206,14 @@ func main() {
 		}
 	case "udapl":
 		if kind.IsMX() {
-			fmt.Fprintln(os.Stderr, "udapl runs on the verbs stacks (iwarp, ib)")
+			fmt.Fprintln(os.Stderr, "netbench: udapl runs on the verbs stacks (iwarp, ib)")
 			os.Exit(2)
 		}
 		lat := bench.UDAPLatency(kind, *size, *iters)
 		raw := bench.UserLatency(kind, *size, *iters)
 		fmt.Printf("%s uDAPL %d B: %.2f us (raw verbs %.2f us)\n", kind, *size, lat.Micros(), raw.Micros())
 	default:
-		fmt.Fprintf(os.Stderr, "unknown test %q\n", *test)
+		fmt.Fprintf(os.Stderr, "netbench: unknown test %q\n", *test)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/congestion"
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/iwarp"
+	"repro/internal/sim"
+)
+
+// The congestion figure family: the paper's testbed is a single idle switch,
+// so its numbers never show how the stacks behave when the fabric pushes
+// back. These figures run the Alltoall victim collective on oversubscribed
+// leaf–spine fabrics while a second tenant — the deterministic background
+// generators of internal/congestion — storms the same ports, and measure how
+// much each stack slows down as the aggressor's offered load grows. Every
+// stack reacts the way its hardware would:
+//
+//   - iWARP rides Ethernet: the switch has bounded queues with ECN marking,
+//     the offloaded TCP halves its window on echoed marks and losses, and a
+//     DCQCN-style limiter paces the wire below line rate after each cut.
+//   - IB is lossless: no queue caps (the hardware never drops), but per-VL
+//     credit flow control stalls the send engine when the shared uplink
+//     stops returning credits.
+//   - MX throttles on the only signal a Myri-10G NIC sees — its own uplink
+//     backlog. MXoE's Ethernet switch marks (the MX protocol has no
+//     retransmission layer, so its lanes run capless like a PFC-paused
+//     fabric); MXoM's Myrinet switch is lossless end to end.
+
+// CongestionRanks is the victim-collective size: 16 ranks over 2 leaves.
+const CongestionRanks = 16
+
+// CongestionMsg is the per-pair Alltoall payload, in the eager regime where
+// the multi-connection behaviors differ most.
+const CongestionMsg = 512
+
+// CongestionSeed fixes the aggressor's frame sequence for the committed
+// figures; netbench exposes -bgseed for exploration and defaults to it.
+const CongestionSeed = 0x1db8f
+
+// CongestionLoads is the per-source background load axis (fraction of line
+// rate). Zero is the clean baseline every slowdown normalizes against. The
+// top of the axis keeps the open-loop aggressor fabric-feasible on sustained
+// average at every oversubscription ratio (at 4:1, two trunks carry half a
+// leaf's cross-traffic): incast's per-epoch bursts still overload the victim
+// egress and the trunks transiently — the signal the stacks react to — but
+// an open-loop source whose sustained demand exceeds a lossless, capless
+// line's capacity would grow that queue (and the victim's completion time)
+// without bound, which measures nothing.
+var CongestionLoads = []float64{0, 0.1, 0.2, 0.3}
+
+// CongestionRatios is the oversubscription sweep, shared with the topo
+// family.
+var CongestionRatios = []int{1, 2, 4}
+
+// reactOpts arms a stack's honest congestion reaction on its NIC config
+// (see ScaleOpts.React for the rationale per stack).
+func reactOpts(kind cluster.Kind, opt *cluster.Options) {
+	switch kind {
+	case cluster.IWARP:
+		cfg := iwarp.DefaultConfig()
+		rc := congestion.DefaultRateConfig(cluster.FabricConfig(kind).LinkRate)
+		cfg.DCQCN = &rc
+		opt.IWARP = &cfg
+	case cluster.IB:
+		cfg := ib.DefaultConfig()
+		cfg.VLs = 1
+		cfg.VLCredits = 16
+		opt.IB = &cfg
+	default:
+		cfg := cluster.MXConfig(kind)
+		cfg.ThrottleBacklog = 5 * sim.Microsecond
+		opt.MX = &cfg
+	}
+}
+
+// stackCongestion returns the fabric-side thresholds a stack's switch
+// honestly has: bounded queues with ECN for iWARP's Ethernet, marking only
+// for MXoE (the MX protocol cannot recover from loss; real deployments
+// pause via PFC instead of dropping), and nothing for the lossless fabrics.
+func stackCongestion(kind cluster.Kind) *fabric.CongestionConfig {
+	switch kind {
+	case cluster.IWARP:
+		return &fabric.CongestionConfig{QueueCapBytes: 256 << 10, ECNMarkBytes: 32 << 10}
+	case cluster.MXoE:
+		return &fabric.CongestionConfig{ECNMarkBytes: 32 << 10}
+	default:
+		return nil
+	}
+}
+
+// CongestionOpts assembles the ScaleOpts of one externally parameterized
+// congested run (the netbench -test alltoall knobs): a leaf–spine fabric at
+// the given oversubscription ratio (0 = the paper's single switch), the
+// per-stack fabric thresholds and NIC reactions when react is set, and an
+// aggressor tenant at the given shape/load/seed when load > 0.
+func CongestionOpts(kind cluster.Kind, ratio int, react bool, shape congestion.Shape, load float64, seed uint64) ScaleOpts {
+	var opts ScaleOpts
+	if ratio > 0 {
+		opts.Topology = topoSpec(ratio)
+	}
+	if react {
+		opts.Congestion = stackCongestion(kind)
+		opts.React = true
+	}
+	if load > 0 {
+		opts.Background = &congestion.TrafficConfig{Shape: shape, Load: load, Seed: seed}
+	}
+	return opts
+}
+
+// congestionScaleOpts assembles one figure cell's options: oversubscribed
+// topology, per-stack thresholds and reactions, and — at non-zero load —
+// the incast aggressor at the committed seed.
+func congestionScaleOpts(kind cluster.Kind, ratio int, load float64) ScaleOpts {
+	return CongestionOpts(kind, ratio, true, congestion.Incast, load, CongestionSeed)
+}
+
+// CongestionFigures runs the (stack x ratio) x load grid once and derives
+// the three figures from it: victim slowdown, fabric tail drops and ECN
+// marks. Slowdown normalizes each series against its own load-0 cell, so a
+// stack that self-throttles in the clean world is not penalized twice.
+func CongestionFigures(ranks int, ratios []int, loads []float64, n int) []Figure {
+	cells := topoGrid(ratios, len(loads), func(kind cluster.Kind, ratio, xi int) (ScaleResult, error) {
+		return AlltoallScale(kind, ranks, n, 2, congestionScaleOpts(kind, ratio, loads[xi]))
+	})
+	labels := topoLabels(ratios)
+	nx := len(loads)
+	series := func(y func(c, base topoCell) (float64, bool)) []Series {
+		out := make([]Series, len(labels))
+		for si, label := range labels {
+			s := Series{Label: label}
+			base := cells[si*nx] // the load-0 baseline of this series
+			for xi, x := range loads {
+				c := cells[si*nx+xi]
+				if c.err != nil {
+					continue
+				}
+				if v, ok := y(c, base); ok {
+					s.Points = append(s.Points, Point{X: x, Y: v})
+				}
+			}
+			out[si] = s
+		}
+		return out
+	}
+	return []Figure{
+		{
+			ID: "congestion-alltoall",
+			Title: fmt.Sprintf("Alltoall slowdown under background incast (%d ranks, %dB per pair, %d hosts/leaf)",
+				ranks, n, TopoHostsPerLeaf),
+			XLabel: "background load",
+			YLabel: "victim slowdown (loaded / clean)",
+			Series: series(func(c, base topoCell) (float64, bool) {
+				if base.err != nil || base.res.Time <= 0 {
+					return 0, false
+				}
+				return float64(c.res.Time) / float64(base.res.Time), true
+			}),
+		},
+		{
+			ID: "congestion-drops",
+			Title: fmt.Sprintf("Fabric tail drops during the loaded Alltoall (%d ranks, %dB per pair)",
+				ranks, n),
+			XLabel: "background load",
+			YLabel: "tail-dropped frames",
+			Series: series(func(c, base topoCell) (float64, bool) {
+				return float64(c.res.TailDrops), true
+			}),
+		},
+		{
+			ID: "congestion-marks",
+			Title: fmt.Sprintf("ECN marks during the loaded Alltoall (%d ranks, %dB per pair)",
+				ranks, n),
+			XLabel: "background load",
+			YLabel: "ECN-marked frames",
+			Series: series(func(c, base topoCell) (float64, bool) {
+				return float64(c.res.ECNMarks), true
+			}),
+		},
+	}
+}

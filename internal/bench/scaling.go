@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/congestion"
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/mpi"
@@ -29,6 +30,24 @@ type ScaleOpts struct {
 	// windows re-anchored at the workload start, like the degraded-mode
 	// figure family does.
 	Faults *faults.Scenario
+	// Congestion, when non-nil, arms bounded switch queues and ECN marking
+	// on the world's fabric (see fabric.SetCongestion).
+	Congestion *fabric.CongestionConfig
+	// Background, when non-nil, attaches deterministic background-traffic
+	// generators to every port (see congestion.Start): the collective
+	// becomes the victim tenant, the generators the aggressor. Rank r
+	// stops port r's generator when its timed loop completes, which keeps
+	// the background frame history invariant across shard counts.
+	Background *congestion.TrafficConfig
+	// React arms each stack's honest congestion reaction on its NIC:
+	// a DCQCN-style rate limiter for iWARP (cuts on ECN echoes and
+	// retransmissions), per-VL credit flow control for IB (the sender
+	// stalls when its uplink stops returning credits), and uplink-backlog
+	// throttling for the MX flavours (the only signal a Myri-10G NIC can
+	// see). The fabric-side thresholds stay under Congestion: lossless
+	// stacks (IB, MXoM) run without caps because their hardware never
+	// drops, while the Ethernet stacks meet bounded queues.
+	React bool
 }
 
 // ScaleResult is one many-rank run's measurements.
@@ -39,6 +58,13 @@ type ScaleResult struct {
 	// whole run, in basis points (0 on single-switch worlds) — the direct
 	// witness that oversubscription concentrates load on the leaf uplinks.
 	TrunkUtilBP int64
+	// TailDrops and ECNMarks total the fabric's congestion verdicts over
+	// the run (zero unless ScaleOpts.Congestion armed the thresholds).
+	TailDrops int64
+	ECNMarks  int64
+	// BgFrames counts the background frames the aggressor tenant offered
+	// (zero without ScaleOpts.Background).
+	BgFrames int64
 }
 
 // scalingConfig is the lean MPI profile of the many-rank worlds: small
@@ -59,12 +85,25 @@ func scalingConfig(kind cluster.Kind) mpi.Config {
 	return cfg
 }
 
-// scalingWorld builds an n-node world with the lean profile.
-func scalingWorld(kind cluster.Kind, nodes int, opts ScaleOpts) (*cluster.Testbed, *mpi.World) {
+// scalingWorld builds an n-node world with the lean profile, arming the
+// fabric congestion thresholds, the per-stack NIC reactions and the
+// background generators that ScaleOpts requests. The generators attach
+// after cluster.NewWithOptions so their tick chains land on the engines
+// that own the ports in sharded worlds.
+func scalingWorld(kind cluster.Kind, nodes int, opts ScaleOpts) (*cluster.Testbed, *mpi.World, *congestion.Traffic) {
 	opt := shardOpts()
 	opt.Topology = opts.Topology
+	opt.Congestion = opts.Congestion
+	if opts.React {
+		reactOpts(kind, &opt)
+	}
 	tb := cluster.NewWithOptions(kind, nodes, opt)
-	return tb, mpi.NewWorld(tb, scalingConfig(kind))
+	w := mpi.NewWorld(tb, scalingConfig(kind))
+	var tr *congestion.Traffic
+	if opts.Background != nil {
+		tr = congestion.Start(tb.Fabric, *opts.Background)
+	}
+	return tb, w, tr
 }
 
 // collectiveScale runs one kernel on every rank: kernel allocates the
@@ -76,7 +115,7 @@ func scalingWorld(kind cluster.Kind, nodes int, opts ScaleOpts) (*cluster.Testbe
 // panicked: a degraded topology cell renders as a missing point.
 func collectiveScale(kind cluster.Kind, nodes, iters int, opts ScaleOpts,
 	kernel func(p *mpi.Process, pr *sim.Proc) func(*sim.Proc)) (ScaleResult, error) {
-	tb, w := scalingWorld(kind, nodes, opts)
+	tb, w, tr := scalingWorld(kind, nodes, opts)
 	defer tb.Close()
 	tb.MustApplyFaults(opts.Faults.ShiftedBy(tb.Eng.Now()))
 	var res ScaleResult
@@ -95,12 +134,24 @@ func collectiveScale(kind cluster.Kind, nodes, iters int, opts ScaleOpts,
 			if r == 0 {
 				res.Time = (p.Wtime(pr) - start) / sim.Time(iters)
 			}
+			if tr != nil {
+				// Rank r owns port r's generator: stopping it here — on
+				// the port's own engine, at a time set only by this rank's
+				// progress — keeps the aggressor's frame sequence
+				// shard-count-invariant and lets the world go idle.
+				tr.Stop(fabric.NodeID(r))
+			}
 		})
 	}
 	if err := tb.Run(); err != nil {
 		return ScaleResult{}, err
 	}
 	res.TrunkUtilBP = tb.Fabric.MaxTrunkUtilBP()
+	res.TailDrops = tb.Fabric.TailDropped()
+	res.ECNMarks = tb.Fabric.ECNMarked()
+	if tr != nil {
+		res.BgFrames = tr.FramesSent()
+	}
 	return res, nil
 }
 

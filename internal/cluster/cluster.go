@@ -211,6 +211,13 @@ type Options struct {
 	// attaches to leaf i/HostsPerLeaf.
 	Topology *fabric.TopologySpec
 
+	// Congestion, when non-nil, arms bounded switch queues and ECN marking
+	// on the fabric (see fabric.SetCongestion). Nil keeps the historical
+	// infinite-buffer switch. How a stack *reacts* to the resulting marks
+	// and drops is configured on its NIC: iwarp.Config.DCQCN,
+	// ib.Config.VLCredits, mx.Config.ThrottleBacklog.
+	Congestion *fabric.CongestionConfig
+
 	// Shards, when >= 1, runs the world under the conservative parallel
 	// runtime (internal/pdes): hosts are partitioned across that many
 	// shard engines (whole leaves in a topology, round-robin on a single
@@ -279,6 +286,9 @@ func NewWithOptions(kind Kind, nodes int, opts Options) *Testbed {
 	}
 	engFor := func(i int) *sim.Engine { return engs[shardOf[i]] }
 	tb.Fabric = fabric.NewWithTopology(eng, FabricConfig(kind), opts.Topology)
+	if opts.Congestion != nil {
+		tb.Fabric.SetCongestion(*opts.Congestion)
+	}
 	for i := 0; i < nodes; i++ {
 		name := fmt.Sprintf("node%d", i)
 		heng := engFor(i)

@@ -1,0 +1,196 @@
+// Package congestion supplies the feedback side of the fabric's bounded
+// queues (fabric.CongestionConfig): a DCQCN-style sender rate limiter that
+// reacts to ECN echoes and losses, and deterministic background-traffic
+// generators that create the contention for it to react to.
+//
+// Everything here is built for the conservative parallel runtime's rules:
+// rate changes only ever *delay* a sender's next transmission (they never
+// schedule anything earlier than it would otherwise happen, so pdes
+// lookahead bounds are untouched), and every generator's decisions are pure
+// functions of (seed, port, virtual time) so runs are byte-identical at any
+// worker count and shard count.
+package congestion
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RateConfig parameterizes a RateLimiter. The zero value is invalid; use
+// DefaultRateConfig(lineRate) and override fields as needed.
+type RateConfig struct {
+	// LineRate is the full (uncongested) sending rate. The limiter is a
+	// no-op while its current rate equals LineRate.
+	LineRate sim.Rate
+
+	// MinRate floors the multiplicative decrease so a lossy run cannot
+	// throttle a sender to zero and deadlock the workload.
+	MinRate sim.Rate
+
+	// CutFactor in (0, 1) multiplies the current rate on every congestion
+	// signal (DCQCN's alpha-driven decrease collapsed to one knob).
+	CutFactor float64
+
+	// RecoverEvery and RecoverFrac are the additive-increase schedule:
+	// every RecoverEvery of signal-free virtual time the rate gains
+	// RecoverFrac * LineRate, until it reaches LineRate and the limiter
+	// disarms again.
+	RecoverEvery sim.Time
+	RecoverFrac  float64
+}
+
+// DefaultRateConfig returns the DCQCN-flavored defaults used by the
+// congestion experiments: halve on signal, recover 5% of line rate every
+// 50 us of quiet, never drop below 1% of line rate.
+func DefaultRateConfig(lineRate sim.Rate) RateConfig {
+	return RateConfig{
+		LineRate:     lineRate,
+		MinRate:      lineRate / 100,
+		CutFactor:    0.5,
+		RecoverEvery: 50 * sim.Microsecond,
+		RecoverFrac:  0.05,
+	}
+}
+
+func (c RateConfig) validate() {
+	if c.LineRate <= 0 {
+		panic(fmt.Sprintf("congestion: line rate %v", c.LineRate))
+	}
+	if c.MinRate <= 0 || c.MinRate > c.LineRate {
+		panic(fmt.Sprintf("congestion: min rate %v outside (0, %v]", c.MinRate, c.LineRate))
+	}
+	if c.CutFactor <= 0 || c.CutFactor >= 1 {
+		panic(fmt.Sprintf("congestion: cut factor %v outside (0, 1)", c.CutFactor))
+	}
+	if c.RecoverEvery <= 0 || c.RecoverFrac <= 0 {
+		panic(fmt.Sprintf("congestion: recovery schedule %v/%v", c.RecoverEvery, c.RecoverFrac))
+	}
+}
+
+// RateLimiter is a DCQCN-style sender-side rate throttle. It is completely
+// inert — every method is a cheap no-op preserving byte-identical timing —
+// until the first OnCongestion call arms it; from then on the sender asks
+// Gate how long to hold the next transmission and books each transmission
+// with Sent. Recovery is computed lazily from elapsed virtual time, so the
+// limiter schedules no events of its own: all throttling happens as delays
+// the sender itself applies, which is what keeps pdes lookahead intact.
+//
+// The limiter is single-shard state: it belongs to one NIC and must only be
+// touched from that NIC's engine.
+type RateLimiter struct {
+	cfg RateConfig
+
+	armed       bool
+	rate        sim.Rate // current sending rate; meaningful only while armed
+	nextSend    sim.Time // earliest start of the next paced transmission
+	lastRecover sim.Time // last time additive increase was applied
+
+	cuts    int64
+	stalled sim.Time // cumulative Gate delay handed to the sender
+}
+
+// NewRateLimiter returns an unarmed limiter.
+func NewRateLimiter(cfg RateConfig) *RateLimiter {
+	cfg.validate()
+	return &RateLimiter{cfg: cfg}
+}
+
+// Armed reports whether the limiter is currently pacing (a congestion
+// signal arrived and recovery has not yet reached line rate).
+func (r *RateLimiter) Armed() bool { return r.armed }
+
+// Cuts returns the number of rate cuts applied (one per accepted
+// congestion signal).
+func (r *RateLimiter) Cuts() int64 { return r.cuts }
+
+// Stalled returns the cumulative delay Gate has imposed on the sender.
+func (r *RateLimiter) Stalled() sim.Time { return r.stalled }
+
+// CurrentRate returns the pacing rate after lazy recovery up to now
+// (LineRate when unarmed).
+func (r *RateLimiter) CurrentRate(now sim.Time) sim.Rate {
+	r.recover(now)
+	if !r.armed {
+		return r.cfg.LineRate
+	}
+	return r.rate
+}
+
+// OnCongestion registers one congestion signal (an ECN echo or a detected
+// loss) at virtual time now: multiplicative decrease, flooring at MinRate.
+// The caller is responsible for signal hygiene (e.g. one cut per RTT);
+// tcpsim's Conn.ECNCut already provides it for the iWARP path.
+func (r *RateLimiter) OnCongestion(now sim.Time) {
+	if !r.armed {
+		r.armed = true
+		r.rate = r.cfg.LineRate
+		if r.nextSend < now {
+			r.nextSend = now
+		}
+	} else {
+		r.recover(now)
+	}
+	r.rate = sim.Rate(float64(r.rate) * r.cfg.CutFactor)
+	if r.rate < r.cfg.MinRate {
+		r.rate = r.cfg.MinRate
+	}
+	r.cuts++
+	r.lastRecover = now
+}
+
+// recover applies the additive-increase schedule for the signal-free time
+// since lastRecover, disarming the limiter once it is back at line rate.
+func (r *RateLimiter) recover(now sim.Time) {
+	if !r.armed || now <= r.lastRecover {
+		return
+	}
+	steps := (now - r.lastRecover) / r.cfg.RecoverEvery
+	if steps <= 0 {
+		return
+	}
+	r.lastRecover += steps * r.cfg.RecoverEvery
+	r.rate += sim.Rate(float64(r.cfg.LineRate) * r.cfg.RecoverFrac * float64(steps))
+	if r.rate >= r.cfg.LineRate {
+		// Fully recovered: disarm, restoring the exact unpaced arithmetic.
+		r.armed = false
+		r.rate = 0
+		r.nextSend = 0
+		r.lastRecover = 0
+	}
+}
+
+// Gate returns how long the sender must hold its next transmission, from
+// now (zero when unarmed or the pacing window is open). The sender sleeps
+// or schedules a wake after the returned delay and asks again.
+func (r *RateLimiter) Gate(now sim.Time) sim.Time {
+	if !r.armed {
+		return 0
+	}
+	r.recover(now)
+	if !r.armed || r.nextSend <= now {
+		return 0
+	}
+	d := r.nextSend - now
+	r.stalled += d
+	return d
+}
+
+// Sent books one transmission of the given size starting at now: the next
+// transmission may not start before this one would finish serializing at
+// the current (reduced) pace. No-op when unarmed — the wire's own
+// serialization already paces an uncongested sender.
+func (r *RateLimiter) Sent(now sim.Time, bytes int) {
+	if !r.armed {
+		return
+	}
+	r.recover(now)
+	if !r.armed {
+		return
+	}
+	start := now
+	if r.nextSend > start {
+		start = r.nextSend
+	}
+	r.nextSend = start + r.rate.TxTime(bytes)
+}

@@ -1,0 +1,144 @@
+package congestion
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testRateConfig: 1000 B/s line rate, halve on signal, floor at 100 B/s,
+// recover 250 B/s per quiet second — every pin below is integer arithmetic.
+func testRateConfig() RateConfig {
+	return RateConfig{
+		LineRate:     sim.Rate(1000),
+		MinRate:      sim.Rate(100),
+		CutFactor:    0.5,
+		RecoverEvery: sim.Second,
+		RecoverFrac:  0.25,
+	}
+}
+
+// TestLimiterUnarmedIsInert: before the first congestion signal every method
+// is a no-op — this is the zero-cost-when-off contract that keeps clean runs
+// byte-identical to the pre-limiter model.
+func TestLimiterUnarmedIsInert(t *testing.T) {
+	r := NewRateLimiter(testRateConfig())
+	if r.Armed() {
+		t.Fatal("fresh limiter armed")
+	}
+	r.Sent(0, 500)
+	if got := r.Gate(100 * sim.Millisecond); got != 0 {
+		t.Errorf("unarmed Gate = %v, want 0", got)
+	}
+	if got := r.CurrentRate(sim.Second); got != sim.Rate(1000) {
+		t.Errorf("unarmed CurrentRate = %v, want line rate", got)
+	}
+	if r.Cuts() != 0 || r.Stalled() != 0 {
+		t.Errorf("unarmed counters moved: cuts=%d stalled=%v", r.Cuts(), r.Stalled())
+	}
+}
+
+// TestLimiterCutsAndFloor pins the multiplicative-decrease ladder:
+// 1000 -> 500 -> 250 -> 125 -> floor at 100, where it stays.
+func TestLimiterCutsAndFloor(t *testing.T) {
+	r := NewRateLimiter(testRateConfig())
+	want := []sim.Rate{500, 250, 125, 100, 100}
+	for i, w := range want {
+		r.OnCongestion(0)
+		if got := r.CurrentRate(0); got != w {
+			t.Errorf("after cut %d: rate = %v, want %v", i+1, got, w)
+		}
+	}
+	if !r.Armed() || r.Cuts() != int64(len(want)) {
+		t.Errorf("armed=%v cuts=%d, want armed/%d", r.Armed(), r.Cuts(), len(want))
+	}
+}
+
+// TestLimiterLazyRecovery pins the additive-increase schedule and the disarm
+// point. Rate sits at the 100 B/s floor after 4 cuts at t=0; recovery adds
+// 250 B/s per elapsed RecoverEvery, evaluated lazily at query time.
+func TestLimiterLazyRecovery(t *testing.T) {
+	r := NewRateLimiter(testRateConfig())
+	for i := 0; i < 4; i++ {
+		r.OnCongestion(0)
+	}
+	if got := r.CurrentRate(999 * sim.Millisecond); got != sim.Rate(100) {
+		t.Errorf("before first step: rate = %v, want 100", got)
+	}
+	if got := r.CurrentRate(sim.Second); got != sim.Rate(350) {
+		t.Errorf("after one step: rate = %v, want 350", got)
+	}
+	// From here (lastRecover = 1s) three more steps land at 350+750 = 1100,
+	// over line rate: the limiter disarms and reports full rate again.
+	if got := r.CurrentRate(4 * sim.Second); got != sim.Rate(1000) {
+		t.Errorf("after recovery: rate = %v, want line rate", got)
+	}
+	if r.Armed() {
+		t.Error("limiter still armed after recovering past line rate")
+	}
+}
+
+// TestLimiterGatePacing pins the Gate/Sent pacing arithmetic: a 500-byte
+// transmission at the halved 500 B/s pace books one second of wire, and Gate
+// hands the sender exactly the remaining wait — never a negative delay.
+func TestLimiterGatePacing(t *testing.T) {
+	r := NewRateLimiter(testRateConfig())
+	r.OnCongestion(0) // rate 500 B/s
+	if got := r.Gate(0); got != 0 {
+		t.Fatalf("pacing window not open at arm time: Gate = %v", got)
+	}
+	r.Sent(0, 500) // books [0, 1s) at 500 B/s
+	if got := r.Gate(0); got != sim.Second {
+		t.Errorf("Gate at 0 = %v, want 1s", got)
+	}
+	if got := r.Gate(600 * sim.Millisecond); got != 400*sim.Millisecond {
+		t.Errorf("Gate at 600ms = %v, want 400ms", got)
+	}
+	if got := r.Gate(sim.Second); got != 0 {
+		t.Errorf("Gate at window open = %v, want 0", got)
+	}
+	if got := r.Stalled(); got != 1400*sim.Millisecond {
+		t.Errorf("Stalled = %v, want 1.4s", got)
+	}
+}
+
+// TestLimiterArmAdvancesPacingClock: arming at a late virtual time must not
+// leave the pacing window in the past (that would let the first paced send
+// burst through).
+func TestLimiterArmAdvancesPacingClock(t *testing.T) {
+	r := NewRateLimiter(testRateConfig())
+	r.OnCongestion(5 * sim.Second)
+	r.Sent(5*sim.Second, 500)
+	if got := r.Gate(5 * sim.Second); got != sim.Second {
+		t.Errorf("Gate after late arm = %v, want 1s", got)
+	}
+}
+
+// TestRateConfigValidation pins the constructor contract.
+func TestRateConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*RateConfig)
+	}{
+		{"zero line rate", func(c *RateConfig) { c.LineRate = 0 }},
+		{"zero min rate", func(c *RateConfig) { c.MinRate = 0 }},
+		{"min above line", func(c *RateConfig) { c.MinRate = c.LineRate + 1 }},
+		{"cut factor one", func(c *RateConfig) { c.CutFactor = 1 }},
+		{"cut factor zero", func(c *RateConfig) { c.CutFactor = 0 }},
+		{"no recover period", func(c *RateConfig) { c.RecoverEvery = 0 }},
+		{"no recover frac", func(c *RateConfig) { c.RecoverFrac = 0 }},
+	}
+	for _, tc := range cases {
+		name, mutate := tc.name, tc.mutate
+		cfg := testRateConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			NewRateLimiter(cfg)
+		}()
+	}
+}

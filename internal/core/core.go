@@ -275,6 +275,22 @@ func Experiments() []Experiment {
 				return figs
 			},
 		},
+		{
+			ID:    "congestion",
+			Title: "Multi-tenant background traffic: victim-collective slowdown under congestion control (congestion extension)",
+			Paper: "beyond the paper's idle switch: a second tenant storms the fabric while the collective runs. Expectation: " +
+				"the reacting stacks degrade smoothly instead of collapsing — iWARP's offloaded TCP backs off on ECN and loss " +
+				"(DCQCN-style pacing), IB stalls on exhausted VL credits (lossless backpressure), MX throttles on its own " +
+				"uplink backlog; slowdown grows with offered load and oversubscription",
+			Run: func(scale int) []bench.Figure {
+				ratios := thin(bench.CongestionRatios, scale)
+				loads := bench.CongestionLoads
+				if scale > 1 {
+					loads = []float64{0, 0.3}
+				}
+				return bench.CongestionFigures(bench.CongestionRanks, ratios, loads, bench.CongestionMsg)
+			},
+		},
 	}
 }
 

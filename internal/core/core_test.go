@@ -12,8 +12,8 @@ import (
 
 func TestExperimentCatalogue(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("%d experiments, want 13 (8 paper figures + appendix + faults + the Section 7 extension + breakdown + topology)", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("%d experiments, want 14 (8 paper figures + appendix + faults + the Section 7 extension + breakdown + topology + congestion)", len(exps))
 	}
 	seen := map[string]bool{}
 	for i := 0; i < 8; i++ {

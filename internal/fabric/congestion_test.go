@@ -1,0 +1,200 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// ccNet builds a 4-port store-and-forward network with clock-friendly
+// constants: 1000 B/s line rate, no overhead, no propagation or switch
+// latency, so a 100-byte frame is exactly 100 ms of wire and `ready` equals
+// the source txEnd.
+func ccNet(eng *sim.Engine) (*Network, []*sink) {
+	cfg := Config{
+		Name:     "cc-test",
+		LinkRate: sim.Rate(1000),
+	}
+	n := New(eng, cfg)
+	sinks := make([]*sink, 4)
+	for i := range sinks {
+		sinks[i] = &sink{eng: eng}
+		n.Attach(sinks[i])
+	}
+	return n, sinks
+}
+
+// TestECNThresholdPins drives two sources into one egress port and pins the
+// exact mark/drop verdict of every frame against the hand-computed backlog
+// sequence. Interleaved sends a0,b0,a1,b1,... of 100-byte frames: the a
+// stream arrives at line rate (its own uplink paces it), the b stream lands
+// on an egress already booked one frame ahead, so the shared queue grows
+// 100 ms per pair. With mark at 100 B (100 ms) and cap at 300 B (300 ms):
+//
+//	a0 backlog 0       pass   | b0 backlog 100ms  pass (not > mark)
+//	a1 backlog 100ms   pass   | b1 backlog 200ms  MARK
+//	a2 backlog 200ms   MARK   | b2 backlog 300ms  MARK (not > cap)
+//	a3 backlog 300ms   MARK   | b3 backlog 400ms  DROP
+//	a4 backlog 300ms   MARK   | b4 backlog 400ms  DROP
+//	a5 backlog 300ms   MARK   | b5 backlog 400ms  DROP
+func TestECNThresholdPins(t *testing.T) {
+	eng := sim.NewEngine()
+	n, sinks := ccNet(eng)
+	n.SetCongestion(CongestionConfig{QueueCapBytes: 300, ECNMarkBytes: 100})
+	p0, p2 := n.portAt(0), n.portAt(2)
+	eng.Schedule(0, func() {
+		for i := 0; i < 6; i++ {
+			p0.Send(&Frame{Src: 0, Dst: 1, Bytes: 100})
+			p2.Send(&Frame{Src: 2, Dst: 1, Bytes: 100})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.TailDropped(); got != 3 {
+		t.Errorf("TailDropped = %d, want 3", got)
+	}
+	if got := n.ECNMarked(); got != 6 {
+		t.Errorf("ECNMarked = %d, want 6", got)
+	}
+	if got := len(sinks[1].frames); got != 9 {
+		t.Fatalf("delivered %d frames, want 9", got)
+	}
+	marked := 0
+	for _, f := range sinks[1].frames {
+		if f.ECN {
+			marked++
+		}
+	}
+	if marked != 6 {
+		t.Errorf("delivered %d ECN-marked frames, want 6", marked)
+	}
+	if up, dn := n.portAt(1).DownTailDrops(), n.portAt(1).DownECNMarks(); up != 3 || dn != 6 {
+		t.Errorf("port 1 egress drops/marks = %d/%d, want 3/6", up, dn)
+	}
+	// The loss ledger: tail drops are congestion losses, not filter losses,
+	// and Dropped totals both.
+	if n.FilterDropped() != 0 || n.Dropped() != 3 {
+		t.Errorf("FilterDropped=%d Dropped=%d, want 0/3", n.FilterDropped(), n.Dropped())
+	}
+}
+
+// TestDroppedTotalsFilterAndTailLosses audits the Dropped ledger when both
+// loss mechanisms fire in one run: DropFn eats one frame, the queue cap eats
+// others, and the totals stay attributable.
+func TestDroppedTotalsFilterAndTailLosses(t *testing.T) {
+	eng := sim.NewEngine()
+	n, sinks := ccNet(eng)
+	n.SetCongestion(CongestionConfig{QueueCapBytes: 300})
+	i := 0
+	n.DropFn = func(f *Frame) bool {
+		i++
+		return i == 1 // filter-drop the very first frame
+	}
+	p0, p2 := n.portAt(0), n.portAt(2)
+	eng.Schedule(0, func() {
+		for j := 0; j < 6; j++ {
+			p0.Send(&Frame{Src: 0, Dst: 1, Bytes: 100})
+			p2.Send(&Frame{Src: 2, Dst: 1, Bytes: 100})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With a0 filter-dropped the egress sequence shifts: b0 takes the first
+	// egress slot, so the a and b streams swap roles in the backlog ledger.
+	// What must hold invariantly: one filter drop, and filter + tail ==
+	// Dropped == offered - delivered.
+	if got := n.FilterDropped(); got != 1 {
+		t.Errorf("FilterDropped = %d, want 1", got)
+	}
+	if n.Dropped() != n.FilterDropped()+n.TailDropped() {
+		t.Errorf("Dropped=%d != Filter %d + Tail %d", n.Dropped(), n.FilterDropped(), n.TailDropped())
+	}
+	if got := int64(12 - len(sinks[1].frames)); n.Dropped() != got {
+		t.Errorf("Dropped=%d but %d frames went missing", n.Dropped(), got)
+	}
+	if n.TailDropped() == 0 {
+		t.Error("cap at 300B never engaged")
+	}
+}
+
+// TestCongestionConfigValidation pins the constructor contract: negative
+// thresholds and mark >= cap panic; a zero config disarms.
+func TestCongestionConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	n, _ := ccNet(eng)
+	mustPanic := func(name string, cc CongestionConfig) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		n.SetCongestion(cc)
+	}
+	mustPanic("negative cap", CongestionConfig{QueueCapBytes: -1})
+	mustPanic("negative mark", CongestionConfig{ECNMarkBytes: -1})
+	mustPanic("mark above cap", CongestionConfig{QueueCapBytes: 100, ECNMarkBytes: 100})
+	n.SetCongestion(CongestionConfig{QueueCapBytes: 300, ECNMarkBytes: 100})
+	if !n.Congestion().Enabled() {
+		t.Fatal("config did not arm")
+	}
+	n.SetCongestion(CongestionConfig{})
+	if n.Congestion().Enabled() {
+		t.Fatal("zero config did not disarm")
+	}
+}
+
+// TestBackgroundFramesTerminateAtFabric: cross-traffic frames consume wire
+// time and earn congestion verdicts but are discarded at the destination —
+// the tenant they belong to has no modeled endpoint.
+func TestBackgroundFramesTerminateAtFabric(t *testing.T) {
+	eng := sim.NewEngine()
+	n, sinks := ccNet(eng)
+	p0 := n.portAt(0)
+	eng.Schedule(0, func() {
+		p0.Send(&Frame{Src: 0, Dst: 1, Bytes: 100, Background: true})
+		p0.Send(&Frame{Src: 0, Dst: 1, Bytes: 100})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sinks[1].frames); got != 1 {
+		t.Fatalf("endpoint saw %d frames, want only the foreground one", got)
+	}
+	if n.BackgroundDelivered() != 1 || n.Delivered() != 1 {
+		t.Errorf("bgDelivered=%d delivered=%d, want 1/1", n.BackgroundDelivered(), n.Delivered())
+	}
+	// The background frame still occupied the uplink first: the foreground
+	// frame serialized behind it (200 ms ingress + 100 ms egress).
+	if got, want := sinks[1].times[0], 300*sim.Millisecond; got != want {
+		t.Errorf("foreground arrival = %v, want %v", got, want)
+	}
+}
+
+// TestUpBacklog pins the sender-side standing-queue probe the MX throttle
+// polls.
+func TestUpBacklog(t *testing.T) {
+	eng := sim.NewEngine()
+	n, _ := ccNet(eng)
+	p0 := n.portAt(0)
+	eng.Schedule(0, func() {
+		if got := p0.UpBacklog(eng.Now()); got != 0 {
+			t.Errorf("idle backlog = %v, want 0", got)
+		}
+		p0.Send(&Frame{Src: 0, Dst: 1, Bytes: 100})
+		p0.Send(&Frame{Src: 0, Dst: 2, Bytes: 100})
+		if got := p0.UpBacklog(eng.Now()); got != 200*sim.Millisecond {
+			t.Errorf("backlog after two frames = %v, want 200ms", got)
+		}
+	})
+	eng.Schedule(150*sim.Millisecond, func() {
+		if got := p0.UpBacklog(eng.Now()); got != 50*sim.Millisecond {
+			t.Errorf("backlog at 150ms = %v, want 50ms", got)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

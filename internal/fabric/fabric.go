@@ -47,6 +47,21 @@ type Frame struct {
 	// the offloaded TCP. Injectors (internal/faults) set it from DropFn.
 	Corrupt bool
 
+	// ECN is the congestion-experienced mark: set by the fabric when the
+	// frame reserves a shared line whose backlog exceeds the configured
+	// marking threshold (see CongestionConfig). Endpoints that speak ECN
+	// (the iWARP RNIC) echo it back to the sender; everyone else ignores it.
+	// Never set unless SetCongestion armed a marking threshold.
+	ECN bool
+
+	// Background marks multi-tenant cross-traffic injected by a generator
+	// (internal/congestion): the frame occupies every line of its path like
+	// real traffic — building queues, earning ECN marks, eating tail drops —
+	// but the fabric counts and discards it at the destination instead of
+	// delivering it to the endpoint, which belongs to a tenant the
+	// simulation does not model above the wire.
+	Background bool
+
 	// Cause is the causal ref of the event that handed the frame to the
 	// fabric (a NIC tx-engine span). It rides the in-memory frame only —
 	// never the wire byte count, so tracing cannot perturb timing. The
@@ -87,6 +102,13 @@ type line struct {
 	// critical-path analysis follows the wire chain through a saturated
 	// link instead of crediting the backlog to whoever queued the frame.
 	lastRef trace.Ref
+
+	// tailDrops and ecnMarks account congestion events at this line: frames
+	// discarded because the backlog exceeded the queue cap, and frames that
+	// crossed the ECN marking threshold. Always zero unless SetCongestion
+	// armed the thresholds.
+	tailDrops int64
+	ecnMarks  int64
 
 	// slow, when non-zero, scales the line's effective rate (0 < slow <= 1):
 	// a degraded link serializes every frame at slow * LinkRate. Zero means
@@ -174,7 +196,23 @@ type Network struct {
 	DropFn func(f *Frame) bool
 
 	delivered int64
-	dropped   int64
+	dropped   int64 // frames dropped by DropFn (injected loss)
+
+	// Congestion accounting (see congestion.go). tailDropped counts frames
+	// discarded because a shared line's backlog exceeded the configured
+	// queue cap; ecnMarked counts frames that crossed the marking threshold.
+	// Both stay zero — and the branches cost one predictable compare — when
+	// SetCongestion was never called. bgDelivered counts Background frames
+	// that reached their destination and were discarded there (cross-traffic
+	// has no endpoint to deliver to).
+	tailDropped int64
+	ecnMarked   int64
+	bgDelivered int64
+
+	// cc holds the precomputed congestion thresholds; cc.on gates every
+	// check so a network without congestion config runs the exact
+	// pre-congestion arithmetic.
+	cc ccState
 
 	// deliverFn is the long-lived delivery callback, bound once at
 	// construction and shared by every frame: Send schedules delivery with
@@ -190,6 +228,7 @@ type Network struct {
 	sh *sharding
 
 	cFrames, cWireBytes, cDelivered, cDropped *metrics.Counter
+	cTailDrops, cECNMarks                     *metrics.Counter
 	cTrunkFrames, cTrunkBytes                 *metrics.Counter
 	hSrcQueue, hEgQueue, hTrunkQueue          *metrics.Histogram
 }
@@ -209,6 +248,8 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	n.cWireBytes = reg.Counter("fabric.wire_bytes")
 	n.cDelivered = reg.Counter("fabric.frames_delivered")
 	n.cDropped = reg.Counter("fabric.frames_dropped")
+	n.cTailDrops = reg.Counter("fabric.tail_drops")
+	n.cECNMarks = reg.Counter("fabric.ecn_marks")
 	// Queueing delay distributions in picoseconds: 1 ns .. ~1 ms.
 	qb := metrics.ExpBuckets(1e3, 4, 15)
 	n.hSrcQueue = reg.Histogram("fabric.src_queue_delay_ps", qb)
@@ -285,13 +326,60 @@ func (n *Network) Delivered() int64 {
 	return total
 }
 
-// Dropped returns the count of frames dropped by DropFn (summed across
-// shards in staged mode).
+// Dropped returns the total count of frames lost in the fabric for any
+// reason: injected losses (DropFn returning true) plus congestion tail
+// drops, summed across shards in staged mode. Use FilterDropped and
+// TailDropped to attribute the losses.
 func (n *Network) Dropped() int64 {
+	return n.FilterDropped() + n.TailDropped()
+}
+
+// FilterDropped returns the count of frames dropped by DropFn (injected
+// loss), summed across shards in staged mode.
+func (n *Network) FilterDropped() int64 {
 	total := n.dropped
 	if n.sh != nil {
 		for i := range n.sh.per {
 			total += n.sh.per[i].dropped
+		}
+	}
+	return total
+}
+
+// TailDropped returns the count of frames discarded because a shared
+// line's backlog exceeded the congestion queue cap (zero unless
+// SetCongestion armed one), summed across shards in staged mode.
+func (n *Network) TailDropped() int64 {
+	total := n.tailDropped
+	if n.sh != nil {
+		for i := range n.sh.per {
+			total += n.sh.per[i].tailDropped
+		}
+	}
+	return total
+}
+
+// ECNMarked returns the count of frames that crossed the ECN marking
+// threshold (zero unless SetCongestion armed one), summed across shards in
+// staged mode.
+func (n *Network) ECNMarked() int64 {
+	total := n.ecnMarked
+	if n.sh != nil {
+		for i := range n.sh.per {
+			total += n.sh.per[i].ecnMarked
+		}
+	}
+	return total
+}
+
+// BackgroundDelivered returns the count of Background (cross-traffic)
+// frames that reached their destination and were discarded there, summed
+// across shards in staged mode.
+func (n *Network) BackgroundDelivered() int64 {
+	total := n.bgDelivered
+	if n.sh != nil {
+		for i := range n.sh.per {
+			total += n.sh.per[i].bgDelivered
 		}
 	}
 	return total
@@ -356,10 +444,27 @@ func (p *Port) Send(f *Frame) (txEnd sim.Time) {
 		// Cross-leaf frames hop leaf -> spine -> leaf before the egress
 		// port; same-leaf frames return `ready` unchanged, keeping the
 		// single-switch arithmetic byte-identical.
-		ready = n.routeTrunks(f, ready, wire)
+		var tailDropped bool
+		ready, tailDropped = n.routeTrunks(f, ready, wire)
+		if tailDropped {
+			return txEnd
+		}
 	}
 
 	dst := n.ports[f.Dst]
+	if n.cc.on {
+		// Bounded egress queue: the switch->endpoint line is the shared
+		// resource incast piles onto. Over the cap the switch discards the
+		// frame (real hardware has finite buffers); over the marking
+		// threshold it sets the congestion-experienced bit and forwards.
+		switch n.ccVerdict(&dst.dn, ready, n.cc.linkCap, n.cc.linkMark) {
+		case ccDrop:
+			n.tailDrop(&dst.dn)
+			return txEnd
+		case ccMark:
+			n.ecnMark(&dst.dn, f)
+		}
+	}
 	// Cut-through egress cannot finish before the tail of the frame has
 	// arrived at the switch; serializing the full frame from `ready` already
 	// guarantees that because ingress and egress rates are equal. (A
@@ -398,9 +503,19 @@ func (n *Network) deliver(v any) {
 		// Staged mode: delivery runs on the destination's shard; count it
 		// there so no counter is shared across engines.
 		si := &n.sh.per[n.sh.shardOf[f.Dst]]
+		if f.Background {
+			// Cross-traffic terminates here: it consumed wire time on every
+			// hop, but its tenant has no modeled endpoint to receive it.
+			si.bgDelivered++
+			return
+		}
 		si.delivered++
 		si.cDelivered.Inc()
 	} else {
+		if f.Background {
+			n.bgDelivered++
+			return
+		}
 		n.delivered++
 		n.cDelivered.Inc()
 	}

@@ -87,7 +87,13 @@ type lineStage struct {
 type shardNet struct {
 	delivered, dropped int64
 
+	// Congestion slices: tail drops and ECN marks at lines this shard owns,
+	// plus Background frames terminated at this shard's ports. Summed by
+	// the Network accessors exactly like delivered/dropped.
+	tailDropped, ecnMarked, bgDelivered int64
+
 	cFrames, cWireBytes, cDelivered, cDropped *metrics.Counter
+	cTailDrops, cECNMarks                     *metrics.Counter
 	cTrunkFrames, cTrunkBytes                 *metrics.Counter
 	hSrcQueue, hEgQueue, hTrunkQueue          *metrics.Histogram
 }
@@ -148,6 +154,8 @@ func (n *Network) EnableStaged(engs []*sim.Engine, shardOf []int, poster Poster)
 		p.cWireBytes = reg.Counter("fabric.wire_bytes")
 		p.cDelivered = reg.Counter("fabric.frames_delivered")
 		p.cDropped = reg.Counter("fabric.frames_dropped")
+		p.cTailDrops = reg.Counter("fabric.tail_drops")
+		p.cECNMarks = reg.Counter("fabric.ecn_marks")
 		p.hSrcQueue = reg.Histogram("fabric.src_queue_delay_ps", qb)
 		p.hEgQueue = reg.Histogram("fabric.egress_queue_delay_ps", qb)
 		if n.topo != nil {
@@ -378,6 +386,30 @@ func (sh *sharding) drain(v any) {
 		pending[j+1] = h
 	}
 	for _, h := range pending {
+		if n.cc.on {
+			// Same thresholds as the synchronous path, evaluated at the
+			// drain timestamp (== the hop's ready time, so the backlog
+			// arithmetic matches). Line state is owned by this shard and
+			// the pending order is shard-count-invariant, so verdicts are
+			// byte-identical at any -shards N.
+			cap, mark := n.cc.linkCap, n.cc.linkMark
+			if st.next {
+				cap, mark = n.cc.trunkCap, n.cc.trunkMark
+			}
+			switch n.ccVerdict(st.l, now, cap, mark) {
+			case ccDrop:
+				st.l.tailDrops++
+				si.tailDropped++
+				si.cTailDrops.Inc()
+				sh.freeHop(st.owner, h)
+				continue
+			case ccMark:
+				h.f.ECN = true
+				st.l.ecnMarks++
+				si.ecnMarked++
+				si.cECNMarks.Inc()
+			}
+		}
 		dur := st.l.txTime(st.rate, h.wire)
 		start, end := st.l.reserve(now, dur, h.wire)
 		if st.next {

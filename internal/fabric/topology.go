@@ -273,16 +273,17 @@ func (n *Network) forwardReady(l *line, rate sim.Rate, start, end sim.Time, wire
 // routeTrunks carries a frame from its ingress leaf to its egress leaf.
 // `ready` is when the ingress leaf can begin forwarding (the single-switch
 // model's switch-ready time); the return value is when the egress leaf can
-// begin serializing onto the destination port. Same-leaf frames pass
-// through untouched — the arithmetic is then byte-identical to the
-// single-switch model.
+// begin serializing onto the destination port, plus whether a congested
+// trunk tail-dropped the frame (the caller then stops routing it).
+// Same-leaf frames pass through untouched — the arithmetic is then
+// byte-identical to the single-switch model.
 //
 //simlint:noalloc
-func (n *Network) routeTrunks(f *Frame, ready sim.Time, wire int) sim.Time {
+func (n *Network) routeTrunks(f *Frame, ready sim.Time, wire int) (sim.Time, bool) {
 	t := n.topo
 	srcLeaf, dstLeaf := t.leafOf(f.Src), t.leafOf(f.Dst)
 	if srcLeaf == dstLeaf {
-		return ready
+		return ready, false
 	}
 	spine := ecmpSpine(f.Src, f.Dst, f.Flow, t.spec.Spines)
 	rate := n.trunkRate()
@@ -295,6 +296,17 @@ func (n *Network) routeTrunks(f *Frame, ready sim.Time, wire int) sim.Time {
 		{&n.Trunk(dstLeaf, spine).dn, n.Trunk(dstLeaf, spine).dnTrack},
 	}
 	for _, hop := range hops {
+		if n.cc.on {
+			// Trunks are shared lines: the oversubscribed leaf uplink is
+			// exactly where permutation and hotspot backgrounds pile up.
+			switch n.ccVerdict(hop.l, ready, n.cc.trunkCap, n.cc.trunkMark) {
+			case ccDrop:
+				n.tailDrop(hop.l)
+				return ready, true
+			case ccMark:
+				n.ecnMark(hop.l, f)
+			}
+		}
 		dur := hop.l.txTime(rate, wire)
 		start, end := hop.l.reserve(ready, dur, wire)
 		n.cTrunkFrames.Inc()
@@ -312,5 +324,5 @@ func (n *Network) routeTrunks(f *Frame, ready sim.Time, wire int) sim.Time {
 		}
 		ready = n.forwardReady(hop.l, rate, start, end, wire)
 	}
-	return ready
+	return ready, false
 }

@@ -46,6 +46,21 @@ type Config struct {
 	// InlineSize is the largest payload carried inside the WQE itself,
 	// avoiding a second DMA read for small sends.
 	InlineSize int
+	// VLs and VLCredits arm credit-based link-level flow control on the
+	// host link: each virtual lane holds VLCredits packet credits, a QP's
+	// packets ride VL qpn mod VLs, and a packet may not enter the send
+	// processor until its lane has a credit. A credit returns CreditReturn
+	// after the packet's uplink serialization ends — the switch forwarding
+	// it and granting fresh buffer — so a stalled or congested uplink
+	// starves the lane and the sender stalls instead of overflowing the
+	// switch (IB loses nothing; it waits). VLCredits == 0 disables flow
+	// control entirely (infinite credits, the historical model). All
+	// bookkeeping lives on the sending HCA's engine, which keeps sharded
+	// runs deterministic.
+	VLs          int
+	VLCredits    int
+	CreditReturn sim.Time
+
 	// PostOverhead is host-CPU time per posted work request.
 	PostOverhead sim.Time
 	// PollDetect is the completion/buffer polling granularity.
@@ -100,11 +115,17 @@ type HCA struct {
 	ctx      *ctxCache
 	chainEnd sim.Time // host-DMA read pipeline chain
 
+	// vls are the per-virtual-lane credit pools (nil when VLCredits == 0:
+	// no link-level flow control, byte-identical to the pre-credit model).
+	vls          []*sim.Resource
+	creditStalls int64
+
 	qps []*QP
 
 	cPktsTx, cPktsRx, cAcksRx *metrics.Counter
 	cCtxHits, cCtxMisses      *metrics.Counter
 	cReadReqs, cEngineStalls  *metrics.Counter
+	cCreditStalls             *metrics.Counter
 }
 
 // New creates an HCA attached to hostMem and the IB fabric.
@@ -120,6 +141,22 @@ func New(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.Network,
 		rxEngine: sim.NewResource(eng, name+"/rx-proc", 1),
 		ctx:      newCtxCache(cfg.CtxCacheSize),
 	}
+	if cfg.VLCredits < 0 || cfg.VLs < 0 {
+		panic(fmt.Sprintf("ib %s: negative VL config %d/%d", name, cfg.VLs, cfg.VLCredits))
+	}
+	if cfg.VLCredits > 0 {
+		if cfg.VLs == 0 {
+			cfg.VLs = 1
+		}
+		if cfg.CreditReturn <= 0 {
+			cfg.CreditReturn = sim.Microsecond
+		}
+		h.cfg = cfg
+		h.vls = make([]*sim.Resource, cfg.VLs)
+		for i := range h.vls {
+			h.vls[i] = sim.NewResource(eng, fmt.Sprintf("%s/vl%d-credits", name, i), cfg.VLCredits)
+		}
+	}
 	h.port = net.Attach(h)
 	mreg := eng.Metrics()
 	h.cPktsTx = mreg.Counter("ib.pkts_tx")
@@ -129,8 +166,13 @@ func New(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.Network,
 	h.cCtxMisses = mreg.Counter("ib.ctx_misses")
 	h.cReadReqs = mreg.Counter("ib.read_requests")
 	h.cEngineStalls = mreg.Counter("ib.engine_stalls")
+	h.cCreditStalls = mreg.Counter("ib.credit_stalls")
 	return h
 }
+
+// CreditStalls returns how many packets found their virtual lane out of
+// credits and had to wait (zero with flow control disabled).
+func (h *HCA) CreditStalls() int64 { return h.creditStalls }
 
 // touchCtx loads the context for qpn, counting hit/miss, and reports whether
 // it was a miss (the engine then pays CtxMissTime).

@@ -255,9 +255,24 @@ func (q *QP) stream(wp *sim.Proc, op verbs.Op, src *mem.Region, srcOff, n int, s
 
 // engineSend pushes one packet through the (capacity-1) send processor,
 // paying a context reload if this QP fell out of the context cache and the
-// completion-writeback cost after the final packet of a message.
+// completion-writeback cost after the final packet of a message. With
+// link-level flow control armed, the packet first takes a credit from its
+// virtual lane — stalling the WQE (before it occupies the send processor,
+// so other work is not head-of-line blocked by an empty lane) until the
+// switch has granted buffer for it.
 func (q *QP) engineSend(wp *sim.Proc, firstOfMsg bool, cause trace.Ref, pk *packet) {
 	h := q.hca
+	var vl *sim.Resource
+	if h.vls != nil {
+		vl = h.vls[q.qpn%len(h.vls)]
+		if !vl.TryAcquire(1) {
+			// Lane out of credits: the link ahead has not drained. Count
+			// the stall and wait for a credit to return.
+			h.creditStalls++
+			h.cCreditStalls.Inc()
+			vl.Acquire(wp, 1)
+		}
+	}
 	t0 := h.eng.Now()
 	h.txEngine.Acquire(wp, 1)
 	hold := h.cfg.TxPktTime
@@ -269,7 +284,16 @@ func (q *QP) engineSend(wp *sim.Proc, firstOfMsg bool, cause trace.Ref, pk *pack
 		pk.cause = tr.CompleteR(h.name, "tx-pkt", int64(t0), int64(h.eng.Now()),
 			trace.Cause(cause), trace.I64("qpn", int64(q.qpn)), trace.I64("bytes", int64(pk.n)))
 	}
-	q.emit(pk)
+	txEnd := q.emit(pk)
+	if vl != nil {
+		// The credit comes back once the switch has forwarded the packet
+		// out of the buffer the credit represents: uplink serialization end
+		// plus the (modeled) credit-return round trip. Scheduled on this
+		// HCA's own engine, so flow control adds no cross-shard edges. A
+		// stalled or congested uplink pushes txEnd out and starves the
+		// lane — exactly the lossless backpressure IB trades drops for.
+		h.eng.At(txEnd+h.cfg.CreditReturn, func() { vl.Release(1) })
+	}
 	if pk.last || pk.kind != pktData {
 		wp.Sleep(h.cfg.CqeTime)
 	}
@@ -288,10 +312,11 @@ func (h *HCA) dmaRead(now sim.Time, bytes int) sim.Time {
 	return h.chainEnd
 }
 
-// emit puts a packet on the wire.
-func (q *QP) emit(pk *packet) {
+// emit puts a packet on the wire and returns when its uplink serialization
+// ends (the credit-return anchor for link-level flow control).
+func (q *QP) emit(pk *packet) sim.Time {
 	q.hca.cPktsTx.Inc()
-	q.hca.port.Send(&fabric.Frame{
+	return q.hca.port.Send(&fabric.Frame{
 		Src:     q.hca.port.ID(),
 		Dst:     q.peer.hca.port.ID(),
 		Bytes:   pk.n + q.hca.cfg.PacketHeader,

@@ -3,6 +3,7 @@ package iwarp
 import (
 	"fmt"
 
+	"repro/internal/congestion"
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -90,6 +91,13 @@ type QP struct {
 	// completions raised from OnRecordAcked name what enabled them.
 	txCause  trace.Ref
 	ackCause trace.Ref
+
+	// limiter is the DCQCN-style pacer (nil unless Config.DCQCN is set).
+	// gateArmed latches the single pending wake event while drainTx is
+	// blocked on the pacing gate, so a burst of OnSendable callbacks never
+	// stacks up duplicate wakes.
+	limiter   *congestion.RateLimiter
+	gateArmed bool
 }
 
 func (r *RNIC) newQP() *QP {
@@ -109,7 +117,19 @@ func (r *RNIC) newQP() *QP {
 	q.conn.RTO = r.cfg.TCPRTO
 	q.conn.OnSendable = q.drainTx
 	q.conn.OnRecordAcked = q.recordAcked
-	q.conn.OnRetransmit = func(ref trace.Ref) { q.txCause = ref }
+	if r.cfg.DCQCN != nil {
+		q.limiter = congestion.NewRateLimiter(*r.cfg.DCQCN)
+	}
+	q.conn.OnRetransmit = func(ref trace.Ref) {
+		q.txCause = ref
+		if q.limiter != nil {
+			// A retransmission is the hard congestion signal: the queue
+			// overflowed (or the path lost the segment) before any mark
+			// could warn us. Cut the pacing rate alongside TCP's cwnd.
+			q.limiter.OnCongestion(r.eng.Now())
+			r.cRateCuts.Inc()
+		}
+	}
 	r.qps = append(r.qps, q)
 	r.eng.Go(fmt.Sprintf("%s/qp%d/rx", r.name, q.qpn), q.rxLoop)
 	r.eng.Go(fmt.Sprintf("%s/qp%d/fetch", r.name, q.qpn), q.fetchLoop)
@@ -350,28 +370,46 @@ func (q *QP) sendReadRequest(wp *sim.Proc, wr verbs.WR) {
 	q.drainTx()
 }
 
-// drainTx moves every currently-sendable TCP segment onto the wire. It runs
-// in engine context (from WQE processes, the TCP OnSendable hook, and ACK
-// arrival).
+// drainTx moves every currently-sendable TCP segment onto the wire, pacing
+// below line rate while the DCQCN limiter is armed. It runs in engine
+// context (from WQE processes, the TCP OnSendable hook, and ACK arrival).
+// A pacing delay only ever *postpones* transmissions — the wake fires
+// strictly later on the same engine, so pdes lookahead bounds are intact.
 func (q *QP) drainTx() {
 	for {
+		if q.limiter != nil {
+			if wait := q.limiter.Gate(q.rnic.eng.Now()); wait > 0 {
+				if !q.gateArmed {
+					q.gateArmed = true
+					q.rnic.eng.After(wait, func() {
+						q.gateArmed = false
+						q.drainTx()
+					})
+				}
+				return
+			}
+		}
 		seg, ok := q.conn.NextSegment()
 		if !ok {
 			return
 		}
-		q.emit(seg)
+		if q.limiter != nil {
+			q.limiter.Sent(q.rnic.eng.Now(), q.conn.WireBytes(seg))
+		}
+		q.emit(seg, false)
 	}
 }
 
 // emit puts one TCP segment on the Ethernet. The frame's causal ref is the
 // tx-engine pass whose FPDU prompted this transmission (for a pure ACK, the
-// rx pass that decided to acknowledge).
-func (q *QP) emit(seg tcpsim.Segment) {
+// rx pass that decided to acknowledge). ece rides the TCP header of pure
+// ACKs echoing a fabric ECN mark back to the data sender.
+func (q *QP) emit(seg tcpsim.Segment, ece bool) {
 	q.rnic.port.Send(&fabric.Frame{
 		Src:     q.rnic.port.ID(),
 		Dst:     q.peer.rnic.port.ID(),
 		Bytes:   q.conn.WireBytes(seg),
-		Payload: wireSeg{dstQPN: q.peer.qpn, seg: seg},
+		Payload: wireSeg{dstQPN: q.peer.qpn, seg: seg, ece: ece},
 		Flow:    q.qpn, // per-connection ECMP path on multi-switch fabrics
 		Cause:   q.txCause,
 	})
@@ -393,11 +431,14 @@ func (q *QP) recordAcked(meta any) {
 	}
 }
 
-// rxSeg is one arrived TCP segment plus the fabric's corruption mark and the
-// causal ref of the wire hop that delivered it.
+// rxSeg is one arrived TCP segment plus the fabric's corruption and ECN
+// marks, the peer's ECN echo, and the causal ref of the wire hop that
+// delivered it.
 type rxSeg struct {
 	seg     tcpsim.Segment
 	corrupt bool
+	ecn     bool // fabric marked this segment (congestion experienced)
+	ece     bool // peer echoed a mark on this ACK
 	cause   trace.Ref
 }
 
@@ -422,6 +463,17 @@ func (q *QP) rxLoop(p *sim.Proc) {
 			if tr := r.eng.Trc(); tr.Enabled() {
 				q.ackCause = tr.CompleteR(r.name, "rx-ack", int64(t0), int64(r.eng.Now()),
 					trace.Cause(rx.cause), trace.I64("qpn", int64(q.qpn)))
+			}
+			if rx.ece {
+				// The peer saw our data cross a congested queue: apply the
+				// TCP cut (once per window) and, when it takes, the DCQCN
+				// rate cut. Reacting before Input keeps the cut sized to
+				// the flight the mark belongs to.
+				r.cECNEchoes.Inc()
+				if q.conn.ECNCut() && q.limiter != nil {
+					q.limiter.OnCongestion(r.eng.Now())
+					r.cRateCuts.Inc()
+				}
 			}
 			q.conn.Input(tseg)
 			continue
@@ -449,6 +501,7 @@ func (q *QP) rxLoop(p *sim.Proc) {
 			continue
 		}
 		seg := tseg
+		ecnMarked := rx.ecn
 		r.eng.After(r.cfg.RxPipeDelay, func() {
 			// Completions raised from Input's ACK processing (piggybacked
 			// acks) and the ACK we send back are both enabled by this
@@ -457,7 +510,10 @@ func (q *QP) rxLoop(p *sim.Proc) {
 			recs, ack, need := q.conn.Input(seg)
 			if need {
 				q.txCause = rxRef
-				q.emit(ack)
+				// Echo a fabric ECN mark back on the ACK (DCTCP-style
+				// per-segment echo; the sender's cut hygiene is one per
+				// window).
+				q.emit(ack, ecnMarked)
 			}
 			for _, rec := range recs {
 				q.handleSeg(rec.Meta.(*ddpSeg), rxRef)

@@ -3,6 +3,7 @@ package iwarp
 import (
 	"fmt"
 
+	"repro/internal/congestion"
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -49,6 +50,12 @@ type Config struct {
 	TCPRTO sim.Time
 	// Framing is the MPA marker/CRC configuration.
 	Framing Framing
+
+	// DCQCN, when non-nil, arms a per-QP DCQCN-style rate limiter that
+	// reacts to ECN echoes and retransmissions by pacing the offloaded
+	// TCP's transmissions below line rate (see internal/congestion). Nil
+	// keeps the transmit path byte-identical to the unlimited model.
+	DCQCN *congestion.RateConfig
 
 	// RegCost prices memory registration through the NE010 protocol engine.
 	RegCost mem.RegCost
@@ -115,12 +122,17 @@ type RNIC struct {
 	cReadReqs, cEarlyArrivals   *metrics.Counter
 	cFramingBytes, cMarkerBytes *metrics.Counter
 	cCrcRejects, cEngineStalls  *metrics.Counter
+	cECNEchoes, cRateCuts       *metrics.Counter
 }
 
 // wireSeg is the fabric frame payload: a TCP segment addressed to a QP.
+// ece is the TCP header's ECN-Echo bit: the data receiver sets it on the
+// ACK it returns for a segment the fabric ECN-marked, closing the DCQCN
+// feedback loop back to the sender.
 type wireSeg struct {
 	dstQPN int
 	seg    tcpsim.Segment
+	ece    bool
 }
 
 // New creates an RNIC attached to hostMem and the Ethernet fabric.
@@ -151,6 +163,8 @@ func New(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.Network,
 	r.cMarkerBytes = mreg.Counter("iwarp.mpa_marker_bytes")
 	r.cCrcRejects = mreg.Counter("iwarp.mpa_crc_rejects")
 	r.cEngineStalls = mreg.Counter("iwarp.engine_stalls")
+	r.cECNEchoes = mreg.Counter("iwarp.ecn_echoes")
+	r.cRateCuts = mreg.Counter("iwarp.rate_cuts")
 	return r
 }
 
@@ -227,7 +241,7 @@ func (r *RNIC) Deliver(f *fabric.Frame) {
 	if ws.dstQPN < 0 || ws.dstQPN >= len(r.qps) {
 		panic(fmt.Sprintf("iwarp %s: frame for unknown QP %d", r.name, ws.dstQPN))
 	}
-	r.qps[ws.dstQPN].rxQ.Put(rxSeg{seg: ws.seg, corrupt: f.Corrupt, cause: f.Cause})
+	r.qps[ws.dstQPN].rxQ.Put(rxSeg{seg: ws.seg, corrupt: f.Corrupt, ecn: f.ECN, ece: ws.ece, cause: f.Cause})
 }
 
 // StallEngines implements faults.EngineStaller: the protocol engine stops

@@ -33,6 +33,7 @@ var SimDomain = []string{
 	"internal/udapl",
 	"internal/tcpsim",
 	"internal/sockets",
+	"internal/congestion",
 	"internal/cluster",
 	"internal/bench",
 }
@@ -115,6 +116,7 @@ var ModelPackages = []string{
 	"internal/udapl",
 	"internal/pci",
 	"internal/faults",
+	"internal/congestion",
 }
 
 // CheckNames are the analyzer names a //simlint:allow directive may cite.

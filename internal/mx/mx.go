@@ -61,6 +61,17 @@ type Config struct {
 	PostOverhead sim.Time
 	// PollDetect is the completion polling granularity (mx_test loop).
 	PollDetect sim.Time
+	// ThrottleBacklog arms sender-side congestion throttling: before
+	// serializing each data packet, the NIC compares its uplink backlog
+	// (bytes already booked ahead of the wire, expressed as time at line
+	// rate) against this threshold and, when over, stalls the stream until
+	// the excess drains. MX has no wire-level congestion signal in this
+	// model — no ECN echo, no credits — so the NIC reacts to the only thing
+	// it can observe: its own egress queue growing because the fabric is
+	// slow. Control packets (RTS/CTS/ACK) are never throttled. Zero
+	// disables throttling, keeping the transmit path byte-identical to the
+	// unthrottled model.
+	ThrottleBacklog sim.Time
 	// RegCost prices the internal chunked registration; RegChunk is the
 	// pinning granularity; RegCacheSize bounds the internal cache.
 	RegCost      mem.RegCost
@@ -199,10 +210,12 @@ type Endpoint struct {
 	PostedMatchedOnNIC      int64
 	TraversedPostedEntries  int64
 	TraversedUnexpectedEnts int64
+	ThrottleStalls          int64
 
 	cEager, cRndv, cUnexp     *metrics.Counter
 	cNICAttempts, cNICMatched *metrics.Counter
 	cNICWalk, cHostWalk       *metrics.Counter
+	cThrottle                 *metrics.Counter
 }
 
 // NewEndpoint attaches a new endpoint to the fabric.
@@ -226,6 +239,7 @@ func NewEndpoint(eng *sim.Engine, name string, hostMem *mem.Memory, net *fabric.
 	e.cNICMatched = mreg.Counter("mx.nic_matched")
 	e.cNICWalk = mreg.Counter("mx.nic_posted_walk_entries")
 	e.cHostWalk = mreg.Counter("mx.host_unexpected_walk_entries")
+	e.cThrottle = mreg.Counter("mx.throttle_stalls")
 	eng.Go(name+"/rx", e.rxLoop)
 	return e
 }
@@ -300,6 +314,31 @@ func (e *Endpoint) eagerSend(p *sim.Proc, x *xfer, buf *mem.Buffer, off int) {
 	})
 }
 
+// throttle pauses the calling NIC stream while the endpoint's uplink
+// backlog exceeds Config.ThrottleBacklog. The sleep duration is exactly the
+// excess, so the stream resumes the instant the queue is back at the
+// threshold (unless other streams on the same port refilled it, in which
+// case the loop waits again). A no-op when throttling is disarmed.
+func (e *Endpoint) throttle(np *sim.Proc) {
+	th := e.cfg.ThrottleBacklog
+	if th <= 0 {
+		return
+	}
+	stalled := false
+	for {
+		over := e.port.UpBacklog(np.Now()) - th
+		if over <= 0 {
+			return
+		}
+		if !stalled {
+			stalled = true
+			e.ThrottleStalls++
+			e.cThrottle.Inc()
+		}
+		np.Sleep(over)
+	}
+}
+
 // dmaRead books one chained, fair-shared payload fetch and returns its
 // completion time (see iwarp.hostToEngine for the chaining rationale).
 func (e *Endpoint) dmaRead(now sim.Time, bytes int) sim.Time {
@@ -328,6 +367,7 @@ func (e *Endpoint) txPackets(np *sim.Proc, x *xfer, dma bool) {
 			}
 			np.SleepUntil(cur)
 		}
+		e.throttle(np)
 		t0 := np.Now()
 		e.nic.Use(np, e.cfg.TxPktTime)
 		x.txCause = e.eng.Trc().CompleteR(e.name, "tx-pkt", int64(t0), int64(np.Now()),
@@ -670,6 +710,7 @@ func (e *Endpoint) rxCTS(p *sim.Proc, pk *packet) {
 				ready = e.dmaRead(np.Now(), min(e.cfg.MTU, x.n-next))
 			}
 			np.SleepUntil(cur)
+			e.throttle(np)
 			t1 := np.Now()
 			e.nic.Use(np, e.cfg.TxPktTime)
 			x.txCause = e.eng.Trc().CompleteR(e.name, "tx-pkt", int64(t1), int64(np.Now()),

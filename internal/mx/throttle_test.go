@@ -1,0 +1,98 @@
+package mx
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// throttleRig mirrors newRig but with a caller-supplied endpoint config, for
+// exercising the sender-side throttle knob.
+func throttleRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := myrinetFabric(eng)
+	m0 := mem.NewMemory(eng, "host0")
+	m1 := mem.NewMemory(eng, "host1")
+	e0 := NewEndpoint(eng, "mx0", m0, net, cfg)
+	e1 := NewEndpoint(eng, "mx1", m1, net, cfg)
+	return &rig{eng: eng, net: net, m0: m0, m1: m1, e0: e0, e1: e1}
+}
+
+// congestedSend books ~160us of background cross-traffic on endpoint 0's
+// uplink, then runs one eager send through it and returns the sender's
+// throttle-stall count. The backlog is exactly the signal ThrottleBacklog
+// watches: a multi-tenant uplink where another tenant got to the wire first.
+func congestedSend(t *testing.T, cfg Config) int64 {
+	t.Helper()
+	r := throttleRig(t, cfg)
+	defer r.close()
+	src := r.m0.Alloc(1024)
+	dst := r.m1.Alloc(1024)
+	src.Fill(5)
+	p0 := r.net.Port(0)
+	r.eng.Schedule(0, func() {
+		for i := 0; i < 16; i++ {
+			// 12500 wire bytes at 1.25 GB/s is 10us per frame.
+			p0.Send(&fabric.Frame{Src: 0, Dst: 1, Bytes: 12500, Background: true})
+		}
+	})
+	r.eng.Go("recv", func(p *sim.Proc) {
+		h := r.e1.Irecv(p, 0x42, ^uint64(0), dst, 0, 1024)
+		h.Wait(p)
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		h := r.e0.Isend(p, r.e1, 0x42, src, 0, 1024)
+		h.Wait(p)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(5, 0, 1024) {
+		t.Fatal("data not delivered through the congested uplink")
+	}
+	return r.e0.ThrottleStalls
+}
+
+// TestThrottleStallsOnUplinkBacklog: with the knob armed the NIC refuses to
+// pile its data packet onto a deeply backlogged uplink — it stalls until the
+// standing queue drains to the threshold. With the knob at zero (the
+// historical model) it serializes straight into the queue and never stalls.
+func TestThrottleStallsOnUplinkBacklog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThrottleBacklog = 5 * sim.Microsecond
+	if got := congestedSend(t, cfg); got == 0 {
+		t.Error("armed throttle never stalled against a 160us uplink backlog")
+	}
+	if got := congestedSend(t, DefaultConfig()); got != 0 {
+		t.Errorf("disabled throttle stalled %d times", got)
+	}
+}
+
+// TestThrottleIdleUplinkIsFree: an armed throttle on an uncongested uplink
+// must never fire — the reaction path is strictly demand-driven.
+func TestThrottleIdleUplinkIsFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThrottleBacklog = 5 * sim.Microsecond
+	r := throttleRig(t, cfg)
+	defer r.close()
+	src := r.m0.Alloc(1024)
+	dst := r.m1.Alloc(1024)
+	src.Fill(9)
+	r.eng.Go("recv", func(p *sim.Proc) {
+		r.e1.Irecv(p, 1, ^uint64(0), dst, 0, 1024).Wait(p)
+	})
+	r.eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		r.e0.Isend(p, r.e1, 1, src, 0, 1024).Wait(p)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.e0.ThrottleStalls != 0 {
+		t.Errorf("idle uplink produced %d throttle stalls", r.e0.ThrottleStalls)
+	}
+}

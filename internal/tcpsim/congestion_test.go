@@ -1,0 +1,187 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestRecoveryDoesNotReflood is the no-cwnd regression test: before
+// congestion control, every loss event triggered a go-back-N rewind that
+// re-entered the network at full line rate — re-flooding the very wire that
+// dropped the segment. Under a sustained drop-every-15th-segment regime the
+// old sender livelocks: each full-window retransmission eats fresh drops,
+// the RTO backs off to its cap, and delivery stalls (measured: 4 of 10
+// records after 30 ms and ~270 segments). The NewReno sender re-earns the
+// window from ssthresh instead and finishes the same transfer inside 5 ms
+// with ~170 segments.
+//
+// Drops cease at 30 ms so the run terminates even on a broken
+// implementation; the probe at 5 ms is the real pin, and both assertions
+// fail on the pre-cwnd code.
+func TestRecoveryDoesNotReflood(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 10*sim.Microsecond)
+	const dropUntil = 30 * sim.Millisecond
+	n := 0
+	p.dropData = func(seg Segment) bool {
+		if seg.Len == 0 || eng.Now() >= dropUntil {
+			return false
+		}
+		n++
+		return n%15 == 0
+	}
+	const records, size = 10, 50_000
+	for i := 0; i < records; i++ {
+		p.a.Send(size, i)
+	}
+	p.drain(p.a, p.b, &p.gotB)
+	var probed int
+	var probedSegs int64
+	eng.Schedule(5*sim.Millisecond, func() {
+		probed, probedSegs = len(p.gotB), p.a.SegmentsSent
+	})
+	p.run(t)
+	if probed != records {
+		t.Errorf("delivered %d/%d records after 5ms of sustained 1-in-15 loss; recovery is re-flooding (no congestion window)",
+			probed, records)
+	}
+	if probedSegs > 250 {
+		t.Errorf("sent %d segments by 5ms for a %d-segment transfer; retransmission storm",
+			probedSegs, records*size/p.a.MSS)
+	}
+	if len(p.gotB) != records {
+		t.Fatalf("delivered %d records, want %d", len(p.gotB), records)
+	}
+	if p.a.Cwnd() == 0 {
+		t.Error("losses occurred but congestion control never armed")
+	}
+}
+
+// TestFastRetransmitHalvesCwnd pins the NewReno reaction to three duplicate
+// ACKs: ssthresh drops to half the flight (floored at two segments) and the
+// rewound window re-enters at cwnd = ssthresh, not at the full flow-control
+// window.
+func TestFastRetransmitHalvesCwnd(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 10*sim.Microsecond)
+	dropped := false
+	var atTrigger, flightAtTrigger int
+	p.dropData = func(seg Segment) bool {
+		if seg.Len > 0 && seg.Seq == uint64(3*p.a.MSS) && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	want := -1
+	p.a.OnRetransmit = func(trace.Ref) {
+		flightAtTrigger = p.a.InflightBytes()
+		atTrigger = p.a.Cwnd()
+		want = flightAtTrigger / 2
+		if min := 2 * p.a.MSS; want < min {
+			want = min
+		}
+	}
+	p.a.Send(250_000, "halve")
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if !dropped || want < 0 {
+		t.Fatal("loss never triggered a retransmission")
+	}
+	if atTrigger != 0 {
+		t.Errorf("cwnd armed before any loss: %d", atTrigger)
+	}
+	if p.a.FastRetransmits != 1 {
+		t.Fatalf("fast retransmits = %d, want 1", p.a.FastRetransmits)
+	}
+	if p.a.Ssthresh() != want {
+		t.Errorf("ssthresh = %d, want half the %d-byte flight = %d",
+			p.a.Ssthresh(), flightAtTrigger, want)
+	}
+	// By run end the ACK clock has grown cwnd from ssthresh; it must have
+	// started there (never below) and be armed.
+	if p.a.Cwnd() < p.a.Ssthresh() {
+		t.Errorf("cwnd = %d below ssthresh %d after recovery", p.a.Cwnd(), p.a.Ssthresh())
+	}
+}
+
+// TestTimeoutCollapsesCwnd pins the RTO reaction: one MSS of cwnd and
+// ssthresh at half the lost flight, probed right after the timeout fires
+// and before any ACK can grow the window again.
+func TestTimeoutCollapsesCwnd(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 10*sim.Microsecond)
+	p.dropData = func(seg Segment) bool {
+		return seg.Len > 0 && eng.Now() < p.a.RTO
+	}
+	const size = 20_000 // three segments: flight 20000, ssthresh floors at 2*MSS
+	p.a.Send(size, "collapse")
+	p.drain(p.a, p.b, &p.gotB)
+	probedCwnd, probedSsthresh := -1, -1
+	eng.Schedule(p.a.RTO+sim.Nanosecond, func() {
+		probedCwnd, probedSsthresh = p.a.Cwnd(), p.a.Ssthresh()
+	})
+	p.run(t)
+	if len(p.gotB) != 1 {
+		t.Fatalf("record not delivered: %v", p.gotB)
+	}
+	if probedCwnd != p.a.MSS {
+		t.Errorf("cwnd after RTO = %d, want one MSS (%d)", probedCwnd, p.a.MSS)
+	}
+	if want := 2 * p.a.MSS; probedSsthresh != want {
+		t.Errorf("ssthresh after RTO = %d, want floor 2*MSS = %d", probedSsthresh, want)
+	}
+}
+
+// TestECNCutOncePerWindow pins the ECN response: a cut halves the window
+// like fast retransmit (without rewinding), and further cuts within the
+// same window of data are no-ops until sndUna passes the cut point.
+func TestECNCutOncePerWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewConn(eng, "ece")
+	c.Send(100_000, "x")
+	sent := 0
+	for {
+		seg, ok := c.NextSegment()
+		if !ok {
+			break
+		}
+		sent += seg.Len
+	}
+	flight := c.InflightBytes()
+	c.ECNCut()
+	if c.Cwnd() != flight/2 || c.Ssthresh() != flight/2 {
+		t.Fatalf("after first cut cwnd=%d ssthresh=%d, want %d", c.Cwnd(), c.Ssthresh(), flight/2)
+	}
+	c.ECNCut() // same window: must not compound
+	if c.ECNCuts != 1 || c.Cwnd() != flight/2 {
+		t.Errorf("second cut in one window applied: cuts=%d cwnd=%d", c.ECNCuts, c.Cwnd())
+	}
+	// Acknowledge the whole flight: a new window may be cut again.
+	c.Input(Segment{Ack: uint64(flight)})
+	c.ECNCut()
+	if c.ECNCuts != 2 {
+		t.Errorf("cut in a fresh window ignored: cuts=%d", c.ECNCuts)
+	}
+}
+
+// TestCleanRunKeepsCwndQuiescent guards the byte-identity contract: with no
+// loss and no ECN, congestion control must never arm, so the connection's
+// arithmetic is exactly the pre-congestion-control fixed-window model.
+func TestCleanRunKeepsCwndQuiescent(t *testing.T) {
+	eng := sim.NewEngine()
+	p := newPump(eng, 5*sim.Microsecond)
+	for i := 0; i < 8; i++ {
+		p.a.Send(64_000, i)
+	}
+	p.drain(p.a, p.b, &p.gotB)
+	p.run(t)
+	if len(p.gotB) != 8 {
+		t.Fatalf("delivered %d records", len(p.gotB))
+	}
+	if p.a.Cwnd() != 0 || p.a.Ssthresh() != 0 {
+		t.Errorf("congestion state armed on a clean run: cwnd=%d ssthresh=%d", p.a.Cwnd(), p.a.Ssthresh())
+	}
+}

@@ -1,7 +1,11 @@
 // Package tcpsim models the offloaded TCP engine of a TOE/iWARP NIC: a
 // reliable, ordered byte stream with MSS segmentation, cumulative ACKs, a
-// fixed flow-control window, and go-back-N retransmission (timeout or three
-// duplicate ACKs).
+// fixed flow-control window, go-back-N retransmission (timeout or three
+// duplicate ACKs), and NewReno-style congestion control (slow start,
+// congestion avoidance, halving on fast retransmit, collapse to one MSS on
+// timeout). Until the first loss or ECN cut the congestion window is inert
+// and the flow-control window alone governs sending, so loss-free runs are
+// arithmetically identical to a plain fixed-window model.
 //
 // The package is a passive protocol state machine: it never sleeps and holds
 // no simulation resources. The NIC model that embeds a Conn decides when to
@@ -112,6 +116,20 @@ type Conn struct {
 	// factor of window/3 segments that melts down into an ACK storm.
 	recovering bool
 
+	// Congestion control (NewReno). cwnd == 0 means no congestion signal has
+	// ever been seen: the effective send window is then WindowBytes alone,
+	// which keeps loss-free connections byte-identical to the model before
+	// congestion control existed. The first timeout, fast retransmit, or ECN
+	// cut arms cwnd, and from then on the effective window is
+	// min(cwnd, WindowBytes); once additive increase grows cwnd back to
+	// WindowBytes the connection is indistinguishable from the unarmed state.
+	cwnd     int
+	ssthresh int
+	// ecnCutAt rate-limits ECN reductions to one per window of data, per RFC
+	// 3168: marks echoed during the same flight all stem from one queue
+	// excursion and must not compound.
+	ecnCutAt uint64
+
 	// Receiver state (go-back-N: in-order only).
 	rcvNxt  uint64
 	current *recvRecord
@@ -123,6 +141,7 @@ type Conn struct {
 	BytesDelivered  int64
 	RTOFired        int64
 	FastRetransmits int64
+	ECNCuts         int64
 
 	cRetrans, cRTOFired, cFastRetrans *metrics.Counter
 }
@@ -181,16 +200,32 @@ func (c *Conn) notify() {
 	}
 }
 
+// window returns the effective send window: the flow-control window capped
+// by the congestion window once congestion control is armed.
+func (c *Conn) window() int {
+	if c.cwnd == 0 || c.cwnd >= c.WindowBytes {
+		return c.WindowBytes
+	}
+	return c.cwnd
+}
+
 // sendable reports whether NextSegment would produce a segment.
 func (c *Conn) sendable() bool {
 	if c.queuedB == 0 {
 		return false
 	}
-	return int(c.sndNxt-c.sndUna) < c.WindowBytes
+	return int(c.sndNxt-c.sndUna) < c.window()
 }
 
 // Sendable reports whether a call to NextSegment would return a segment.
 func (c *Conn) Sendable() bool { return c.sendable() }
+
+// Cwnd returns the congestion window in bytes; 0 until the first loss or
+// ECN cut arms congestion control.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+// Ssthresh returns the slow-start threshold in bytes (0 until armed).
+func (c *Conn) Ssthresh() int { return c.ssthresh }
 
 // InflightBytes returns the number of sent-but-unacked bytes.
 func (c *Conn) InflightBytes() int { return int(c.sndNxt - c.sndUna) }
@@ -206,7 +241,7 @@ func (c *Conn) NextSegment() (seg Segment, ok bool) {
 		return Segment{}, false
 	}
 	budget := c.MSS
-	if w := c.WindowBytes - int(c.sndNxt-c.sndUna); w < budget {
+	if w := c.window() - int(c.sndNxt-c.sndUna); w < budget {
 		budget = w
 	}
 	seg = Segment{Seq: c.sndNxt, Ack: c.rcvNxt}
@@ -281,7 +316,37 @@ func (c *Conn) timeout() {
 	if c.OnRetransmit != nil {
 		c.OnRetransmit(ref)
 	}
+	// Timeout: collapse to one segment and slow-start back toward half the
+	// lost flight, as NewReno does after an RTO.
+	c.ssthresh = c.halfFlight()
+	c.cwnd = c.MSS
 	c.goBackN()
+}
+
+// halfFlight returns half the current flight, floored at two segments — the
+// NewReno ssthresh after any loss event (RFC 5681 §3.1).
+func (c *Conn) halfFlight() int {
+	h := int(c.sndNxt-c.sndUna) / 2
+	if min := 2 * c.MSS; h < min {
+		h = min
+	}
+	return h
+}
+
+// ECNCut applies the ECN congestion response: halve the window as a fast
+// retransmit would, but without rewinding — the marked segment was
+// delivered, only the queue it crossed was deep. At most one cut per window
+// of data takes effect; the return value reports whether this call applied
+// (so NIC-level rate limiters can piggyback on the same hygiene).
+func (c *Conn) ECNCut() bool {
+	if c.sndUna < c.ecnCutAt {
+		return false
+	}
+	c.ecnCutAt = c.sndNxt
+	c.ECNCuts++
+	c.ssthresh = c.halfFlight()
+	c.cwnd = c.ssthresh
+	return true
 }
 
 // goBackN rewinds the send state to sndUna, re-queueing every unacked
@@ -382,6 +447,7 @@ func (c *Conn) processAck(ack uint64, pure bool) {
 	switch {
 	case ack > c.sndUna:
 		wasBlocked := !c.sendable()
+		acked := int(ack - c.sndUna)
 		if c.ackAligned(ack) {
 			for seq := c.sndUna; seq < ack; {
 				seg := c.inflight[seq]
@@ -403,6 +469,7 @@ func (c *Conn) processAck(ack uint64, pure bool) {
 		c.dupAcks = 0
 		c.backoff = 0 // forward progress: the path works again
 		c.recovering = false
+		c.growCwnd(acked)
 		c.fireWatches()
 		if c.sndUna == c.sndNxt {
 			if c.rtoEv != nil {
@@ -426,8 +493,39 @@ func (c *Conn) processAck(ack uint64, pure bool) {
 			if c.OnRetransmit != nil {
 				c.OnRetransmit(ref)
 			}
+			// Halve into recovery (dup ACKs prove delivery continues), so
+			// the rewound window re-enters the network at half rate instead
+			// of re-flooding the queue that just dropped.
+			c.ssthresh = c.halfFlight()
+			c.cwnd = c.ssthresh
 			c.goBackN()
 		}
+	}
+}
+
+// growCwnd opens the congestion window on an ACK that advances sndUna:
+// slow start below ssthresh (at most one MSS per ACK), additive increase
+// above it (roughly one MSS per round trip), capped at the flow-control
+// window — where congestion control goes quiescent again and the connection
+// behaves exactly like the fixed-window model.
+func (c *Conn) growCwnd(acked int) {
+	if c.cwnd == 0 || c.cwnd >= c.WindowBytes {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		if acked > c.MSS {
+			acked = c.MSS
+		}
+		c.cwnd += acked
+	} else {
+		grow := c.MSS * c.MSS / c.cwnd
+		if grow < 1 {
+			grow = 1
+		}
+		c.cwnd += grow
+	}
+	if c.cwnd > c.WindowBytes {
+		c.cwnd = c.WindowBytes
 	}
 }
 
